@@ -1,0 +1,141 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! group sweeps one knob of the D-ORAM configuration and reports the mean
+//! NS-App execution time as the benchmark's throughput-relevant output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doram_core::{Scheme, Simulation, SystemConfig};
+use doram_trace::Benchmark;
+use std::hint::black_box;
+
+const ACCESSES: u64 = 300;
+
+fn run(cfg: SystemConfig) -> f64 {
+    Simulation::new(cfg)
+        .expect("valid config")
+        .run()
+        .expect("run completes")
+        .ns_exec_mean()
+}
+
+/// Tree-top cache depth (paper fixes 3; \[32\] explored the choice).
+fn ablate_tree_top(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/tree_top_levels");
+    for levels in [0u32, 1, 3, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &l| {
+            b.iter(|| {
+                let cfg = SystemConfig::builder(Benchmark::Mummer)
+                    .scheme(Scheme::DOram { k: 0, c: 7 })
+                    .ns_accesses(ACCESSES)
+                    .tree_top_levels(l)
+                    .build()
+                    .expect("valid");
+                black_box(run(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Dummy-request pacing t (paper fixes 50 CPU cycles).
+fn ablate_dummy_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/dummy_interval_t");
+    for t in [10u64, 50, 200, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let cfg = SystemConfig::builder(Benchmark::Mummer)
+                    .scheme(Scheme::DOram { k: 0, c: 7 })
+                    .ns_accesses(ACCESSES)
+                    .dummy_interval(t)
+                    .build()
+                    .expect("valid");
+                black_box(run(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Subtree packing depth (paper uses 7-level subtrees per \[32\]).
+fn ablate_subtree_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/subtree_levels");
+    for s in [1u32, 4, 7, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| {
+                let cfg = SystemConfig::builder(Benchmark::Mummer)
+                    .scheme(Scheme::DOram { k: 0, c: 7 })
+                    .ns_accesses(ACCESSES)
+                    .subtree_levels(s)
+                    .build()
+                    .expect("valid");
+                black_box(run(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Baseline's cooperative share threshold (paper fixes 50%).
+fn ablate_share_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/share_threshold");
+    for pct in [25u32, 50, 75, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, &pct| {
+            b.iter(|| {
+                let cfg = SystemConfig::builder(Benchmark::Mummer)
+                    .scheme(Scheme::Baseline)
+                    .ns_accesses(ACCESSES)
+                    .share_threshold(pct as f64 / 100.0)
+                    .build()
+                    .expect("valid");
+                black_box(run(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Footnote 1: merging split-level read packets (off in the paper).
+fn ablate_split_read_merging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/split_read_merging");
+    for (name, merge) in [("per-block", false), ("merged", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &merge, |b, &m| {
+            b.iter(|| {
+                let cfg = SystemConfig::builder(Benchmark::Mummer)
+                    .scheme(Scheme::DOram { k: 2, c: 7 })
+                    .ns_accesses(ACCESSES)
+                    .merge_split_reads(m)
+                    .build()
+                    .expect("valid");
+                black_box(run(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// SD pipelining: overlap the buffered access's read phase with the
+/// current write phase (extension; the paper's SD strictly serializes).
+fn ablate_sd_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/sd_pipeline");
+    for (name, on) in [("serial", false), ("pipelined", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &on, |b, &on| {
+            b.iter(|| {
+                let cfg = SystemConfig::builder(Benchmark::Mummer)
+                    .scheme(Scheme::DOram { k: 0, c: 7 })
+                    .ns_accesses(ACCESSES)
+                    .sd_pipeline(on)
+                    .build()
+                    .expect("valid");
+                black_box(run(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablate_tree_top, ablate_dummy_interval, ablate_subtree_depth,
+        ablate_share_threshold, ablate_split_read_merging, ablate_sd_pipeline
+);
+criterion_main!(ablations);

@@ -1,0 +1,82 @@
+//! One Criterion bench per table/figure of the paper, at reduced scale.
+//!
+//! These are end-to-end regenerations (the same code paths as the
+//! `fig*`/`table*` binaries) sized to finish in seconds each, so CI can
+//! watch the experiment pipeline's health and cost. The full-scale
+//! numbers live in EXPERIMENTS.md, produced by the `all_figures` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doram_core::experiments::{fig10, fig11, fig12, fig13, fig4, fig9, table1, table3, Scale};
+use doram_core::profiling::{profile, ProfileScale};
+use doram_trace::Benchmark;
+use std::hint::black_box;
+
+/// Tiny but representative: one ORAM-sensitive benchmark, short traces.
+fn bench_scale() -> Scale {
+    Scale {
+        ns_accesses: 300,
+        seed: 1,
+        benchmarks: vec![Benchmark::Mummer],
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1/analytic", |b| b.iter(|| black_box(table1::run())));
+    c.bench_function("table3/mpki_measurement", |b| {
+        b.iter(|| black_box(table3::run(2_000)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4/corun_degradation", |b| {
+        b.iter(|| black_box(fig4::run(&bench_scale()).expect("fig4")))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8/channel_profile", |b| {
+        b.iter(|| {
+            black_box(
+                profile(
+                    Benchmark::Mummer,
+                    ProfileScale {
+                        accesses: 300,
+                        seed: 1,
+                        stream: 7,
+                    },
+                )
+                .expect("profile"),
+            )
+        })
+    });
+}
+
+fn bench_fig9_to_12(c: &mut Criterion) {
+    c.bench_function("fig11/c_sweep", |b| {
+        b.iter(|| black_box(fig11::run(&bench_scale()).expect("fig11")))
+    });
+    c.bench_function("fig9/doram_family", |b| {
+        b.iter(|| black_box(fig9::run(&bench_scale()).expect("fig9")))
+    });
+    c.bench_function("fig12/ratio_prediction", |b| {
+        let scale = bench_scale();
+        let sweep = fig11::run(&scale).expect("sweep");
+        b.iter(|| black_box(fig12::run(&scale, &sweep).expect("fig12")))
+    });
+}
+
+fn bench_fig10_13(c: &mut Criterion) {
+    c.bench_function("fig10/tree_expansion", |b| {
+        b.iter(|| black_box(fig10::run(&bench_scale()).expect("fig10")))
+    });
+    c.bench_function("fig13/latency_reduction", |b| {
+        b.iter(|| black_box(fig13::run(&bench_scale()).expect("fig13")))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_fig4, bench_fig8, bench_fig9_to_12, bench_fig10_13
+);
+criterion_main!(figures);

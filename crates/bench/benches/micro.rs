@@ -1,0 +1,98 @@
+//! Microbenchmarks of the substrates: the per-operation costs that bound
+//! full-system simulation speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doram_cpu::Llc;
+use doram_crypto::{Aes128, Cmac, OtpStream};
+use doram_dram::{MemOp, MemRequest, RequestClass, SubChannel, SubChannelConfig};
+use doram_oram::plan::{PlanConfig, Planner};
+use doram_oram::protocol::PathOram;
+use doram_sim::rng::Xoshiro256;
+use doram_sim::{AppId, MemCycle, RequestId};
+use doram_trace::{Benchmark, TraceGenerator};
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let aes = Aes128::new([7; 16]);
+    c.bench_function("crypto/aes128_block", |b| {
+        b.iter(|| black_box(aes.encrypt_block(black_box([0x42; 16]))))
+    });
+    let mut otp = OtpStream::new([7; 16], 9);
+    c.bench_function("crypto/otp_packet_72B", |b| {
+        b.iter(|| black_box(otp.apply(black_box(&[0x55; 72]))))
+    });
+    let mac = Cmac::new([7; 16]);
+    c.bench_function("crypto/cmac_72B", |b| b.iter(|| black_box(mac.tag(&[0x55; 72]))));
+}
+
+fn bench_oram_protocol(c: &mut Criterion) {
+    c.bench_function("oram/functional_access_L16", |b| {
+        let mut oram = PathOram::new(16, 4, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(oram.write(i % 10_000, i))
+        })
+    });
+    let planner = Planner::new(PlanConfig::paper_default());
+    let mut rng = Xoshiro256::seed_from(3);
+    c.bench_function("oram/plan_access_L23", |b| {
+        b.iter(|| {
+            let leaf = rng.gen_below(1 << 23);
+            black_box(planner.plan(leaf))
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/subchannel_streaming_1k_reads", |b| {
+        b.iter(|| {
+            let mut sc = SubChannel::new(SubChannelConfig::default());
+            let mut done = Vec::new();
+            let mut issued = 0u64;
+            let mut now = 0u64;
+            while done.len() < 1_000 {
+                while issued < 1_000 && sc.can_accept_read() {
+                    let _ = sc.enqueue(MemRequest {
+                        id: RequestId(issued),
+                        app: AppId(0),
+                        op: MemOp::Read,
+                        addr: issued * 64,
+                        class: RequestClass::Normal,
+                        arrival: MemCycle(now),
+                    });
+                    issued += 1;
+                }
+                sc.tick(MemCycle(now), &mut done);
+                now += 1;
+            }
+            black_box(done.len())
+        })
+    });
+}
+
+fn bench_trace_and_llc(c: &mut Criterion) {
+    c.bench_function("trace/generate_10k_records", |b| {
+        let mut gen = TraceGenerator::new(Benchmark::Mummer.spec(), 1, 0);
+        b.iter(|| {
+            for _ in 0..10_000 {
+                black_box(gen.next_record());
+            }
+        })
+    });
+    c.bench_function("llc/access_4MB_16way", |b| {
+        let mut llc = Llc::paper_default();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(llc.access((x >> 20) & ((1 << 26) - 1), x & 1 == 0))
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crypto, bench_oram_protocol, bench_dram, bench_trace_and_llc
+);
+criterion_main!(micro);

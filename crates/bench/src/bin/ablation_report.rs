@@ -1,0 +1,13 @@
+//! Prints the design-choice ablation sweeps (modeled NS-App cost; the
+//! Criterion `ablations` bench times the same configurations' wall cost).
+use doram_core::experiments::ablations;
+use doram_trace::Benchmark;
+
+fn main() {
+    let scale = doram_bench::announce("ablations");
+    let bench = scale.benchmarks.first().copied().unwrap_or(Benchmark::Mummer);
+    doram_bench::emit("ablations", || {
+        ablations::run_all(bench, &scale).map(|sweeps| ablations::render(bench, &sweeps))
+    })
+    .expect("ablation sweep failed");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 10 (cost of expanding the tree by k levels).
+use doram_core::experiments::fig10;
+
+fn main() {
+    let scale = doram_bench::announce("fig10");
+    doram_bench::emit("fig10", || {
+        fig10::run(&scale).map(|rows| {
+            doram_bench::maybe_write_csv("fig10", &fig10::render_csv(&rows));
+            fig10::render(&rows)
+        })
+    })
+    .expect("figure 10 sweep failed");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 11 (secure-channel sharing sweep, c = 0..7).
+use doram_core::experiments::fig11;
+
+fn main() {
+    let scale = doram_bench::announce("fig11");
+    doram_bench::emit("fig11", || {
+        fig11::run(&scale).map(|rows| {
+            doram_bench::maybe_write_csv("fig11", &fig11::render_csv(&rows));
+            fig11::render(&rows)
+        })
+    })
+    .expect("figure 11 sweep failed");
+}

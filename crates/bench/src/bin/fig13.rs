@@ -1,0 +1,13 @@
+//! Regenerates Figure 13 (NS-App read/write latency vs Baseline).
+use doram_core::experiments::fig13;
+
+fn main() {
+    let scale = doram_bench::announce("fig13");
+    doram_bench::emit("fig13", || {
+        fig13::run(&scale).map(|rows| {
+            doram_bench::maybe_write_csv("fig13", &fig13::render_csv(&rows));
+            fig13::render(&rows)
+        })
+    })
+    .expect("figure 13 sweep failed");
+}

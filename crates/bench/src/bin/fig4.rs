@@ -1,0 +1,13 @@
+//! Regenerates Figure 4 (NS-App degradation under co-run settings).
+use doram_core::experiments::fig4;
+
+fn main() {
+    let scale = doram_bench::announce("fig4");
+    doram_bench::emit("fig4", || {
+        fig4::run(&scale).map(|rows| {
+            doram_bench::maybe_write_csv("fig4", &fig4::render_csv(&rows));
+            fig4::render(&rows)
+        })
+    })
+    .expect("figure 4 sweep failed");
+}

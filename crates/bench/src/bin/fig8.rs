@@ -1,0 +1,14 @@
+//! Regenerates Figure 8's quantitative core: the profiled channel
+//! latencies (solo, T33, T25, T25mix) per benchmark.
+use doram_core::experiments::fig8;
+
+fn main() {
+    let scale = doram_bench::announce("fig8");
+    doram_bench::emit("fig8", || {
+        fig8::run(&scale).map(|rows| {
+            doram_bench::maybe_write_csv("fig8", &fig8::render_csv(&rows));
+            fig8::render(&rows)
+        })
+    })
+    .expect("figure 8 profiling failed");
+}

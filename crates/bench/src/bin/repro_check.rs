@@ -1,0 +1,23 @@
+//! Machine-checks the reproduction claims of EXPERIMENTS.md and prints a
+//! scorecard. Exit code 1 if any *structural* claim fails.
+use doram_core::experiments::validation;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let scale = doram_bench::announce("repro_check");
+    match validation::validate(&scale) {
+        Ok(card) => {
+            println!("{}", card.render());
+            if card.structural_ok() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("structural reproduction claims FAILED");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("validation aborted: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

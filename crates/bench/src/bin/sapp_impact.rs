@@ -1,0 +1,8 @@
+//! Quantifies §V-E: what delegation costs the S-App itself.
+use doram_core::experiments::sapp;
+
+fn main() {
+    let scale = doram_bench::announce("sapp");
+    doram_bench::emit("sapp", || sapp::run(&scale).map(|rows| sapp::render(&rows)))
+        .expect("S-App comparison failed");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table I (tree-split space and message accounting).
+use doram_core::experiments::table1;
+
+fn main() {
+    doram_bench::emit::<std::convert::Infallible>("table1", || Ok(table1::render(&table1::run())))
+        .expect("infallible");
+}

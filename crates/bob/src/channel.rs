@@ -1,0 +1,343 @@
+//! A normal (non-secure) BOB channel, end to end.
+//!
+//! MainMC (CPU side) serializes requests onto the link; the SimpleMC
+//! receives them, spreads them over its sub-channels (line-interleaved),
+//! and returns read responses over the link. Writes are posted: they
+//! complete when DRAM finishes them, with no response packet.
+
+use crate::link::{Link, LinkConfig};
+use crate::packet::PacketKind;
+use doram_dram::{Completion, MemOp, MemRequest, SubChannel, SubChannelConfig};
+use doram_sim::MemCycle;
+use std::collections::VecDeque;
+
+/// Messages crossing a normal channel's serial link.
+#[derive(Debug, Clone, Copy)]
+enum ChannelMsg {
+    Request(MemRequest),
+    Response(Completion),
+}
+
+/// Configuration of a [`BobChannel`].
+#[derive(Debug, Clone)]
+pub struct BobChannelConfig {
+    /// Serial link parameters.
+    pub link: LinkConfig,
+    /// One config per sub-channel (normal channels have one; the secure
+    /// channel uses four).
+    pub sub_channels: Vec<SubChannelConfig>,
+}
+
+impl Default for BobChannelConfig {
+    fn default() -> BobChannelConfig {
+        BobChannelConfig {
+            link: LinkConfig::default(),
+            sub_channels: vec![SubChannelConfig::default()],
+        }
+    }
+}
+
+/// A BOB channel: link + SimpleMC + DDR3 sub-channels.
+#[derive(Debug)]
+pub struct BobChannel {
+    link: Link<ChannelMsg>,
+    subs: Vec<SubChannel>,
+    /// Requests delivered to the SimpleMC but not yet accepted by their
+    /// sub-channel (back-pressure holding buffer).
+    mc_pending: VecDeque<MemRequest>,
+    /// Read responses awaiting a free slot on the CPU-bound link.
+    resp_pending: VecDeque<Completion>,
+    /// Scratch: completions from sub-channels each tick.
+    scratch: Vec<Completion>,
+}
+
+impl BobChannel {
+    /// Creates a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sub-channel is configured.
+    pub fn new(cfg: BobChannelConfig) -> BobChannel {
+        assert!(!cfg.sub_channels.is_empty(), "need at least one sub-channel");
+        BobChannel {
+            link: Link::new(cfg.link),
+            subs: cfg.sub_channels.into_iter().map(SubChannel::new).collect(),
+            mc_pending: VecDeque::new(),
+            resp_pending: VecDeque::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of sub-channels behind the SimpleMC.
+    pub fn sub_channel_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Access to a sub-channel's statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn sub_channel(&self, idx: usize) -> &SubChannel {
+        &self.subs[idx]
+    }
+
+    /// Whether the MainMC can accept another request right now.
+    pub fn can_send(&self) -> bool {
+        self.link.can_send_to_mem()
+    }
+
+    /// Total bytes accepted on the link (to-mem, to-cpu).
+    pub fn link_bytes(&self) -> (u64, u64) {
+        self.link.bytes_sent()
+    }
+
+    /// Enables device-command tracing on every sub-channel.
+    pub fn enable_command_traces(&mut self) {
+        for sub in self.subs.iter_mut() {
+            sub.enable_command_trace();
+        }
+    }
+
+    /// Takes each sub-channel's recorded command trace.
+    pub fn take_command_traces(&mut self) -> Vec<Vec<doram_dram::CommandRecord>> {
+        self.subs.iter_mut().map(|s| s.take_command_trace()).collect()
+    }
+
+    /// Whether all queues, buses, and sub-channels are drained.
+    pub fn is_idle(&self) -> bool {
+        self.link.pending() == 0
+            && self.mc_pending.is_empty()
+            && self.resp_pending.is_empty()
+            && self.subs.iter().all(|s| s.is_idle())
+    }
+
+    /// Sends a request from the MainMC side.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request when the link TX queue is full.
+    pub fn try_send(&mut self, req: MemRequest, _now: MemCycle) -> Result<(), MemRequest> {
+        let kind = match req.op {
+            MemOp::Read => PacketKind::ReadRequest,
+            MemOp::Write => PacketKind::WriteRequest,
+        };
+        self.link
+            .send_to_mem(kind.wire_bytes(), ChannelMsg::Request(req))
+            .map_err(|m| match m {
+                ChannelMsg::Request(r) => r,
+                ChannelMsg::Response(_) => unreachable!("sent a request"),
+            })
+    }
+
+    /// Line-interleaved sub-channel selection.
+    fn sub_for(&self, addr: u64) -> usize {
+        ((addr >> 6) % self.subs.len() as u64) as usize
+    }
+
+    /// Strips the sub-channel-select bits so each sub-channel sees a dense
+    /// local address space.
+    fn local_addr(&self, addr: u64) -> u64 {
+        let line = addr >> 6;
+        ((line / self.subs.len() as u64) << 6) | (addr & 63)
+    }
+
+    /// Advances the channel one memory cycle. Completions (as seen by the
+    /// CPU: read responses that crossed back over the link, writes when
+    /// DRAM finished them) are appended to `completed`.
+    pub fn tick(&mut self, now: MemCycle, completed: &mut Vec<Completion>) {
+        // 1. Link movement.
+        let mut at_mem = Vec::new();
+        let mut at_cpu = Vec::new();
+        self.link.tick(now, &mut at_mem, &mut at_cpu);
+        for msg in at_mem {
+            match msg {
+                ChannelMsg::Request(r) => self.mc_pending.push_back(r),
+                ChannelMsg::Response(_) => unreachable!("responses travel to the CPU"),
+            }
+        }
+        for msg in at_cpu {
+            match msg {
+                ChannelMsg::Response(c) => completed.push(Completion {
+                    request: c.request,
+                    finished: now,
+                }),
+                ChannelMsg::Request(_) => unreachable!("requests travel to memory"),
+            }
+        }
+
+        // 2. SimpleMC: move held requests into sub-channel queues.
+        while let Some(&req) = self.mc_pending.front() {
+            let sub = self.sub_for(req.addr);
+            let mut local = req;
+            local.addr = self.local_addr(req.addr);
+            match self.subs[sub].enqueue(local) {
+                Ok(()) => {
+                    self.mc_pending.pop_front();
+                }
+                Err(_) => break, // head-of-line blocked on a full queue
+            }
+        }
+
+        // 3. DRAM.
+        self.scratch.clear();
+        for sub in self.subs.iter_mut() {
+            sub.tick(now, &mut self.scratch);
+        }
+        for c in self.scratch.drain(..) {
+            match c.request.op {
+                MemOp::Read => self.resp_pending.push_back(c),
+                // Posted writes complete at the DIMM; no response packet.
+                MemOp::Write => completed.push(c),
+            }
+        }
+
+        // 4. Send read responses back over the link.
+        while let Some(&c) = self.resp_pending.front() {
+            match self
+                .link
+                .send_to_cpu(PacketKind::ReadResponse.wire_bytes(), ChannelMsg::Response(c))
+            {
+                Ok(()) => {
+                    self.resp_pending.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doram_dram::RequestClass;
+    use doram_sim::{AppId, RequestId};
+
+    fn req(id: u64, op: MemOp, addr: u64) -> MemRequest {
+        MemRequest {
+            id: RequestId(id),
+            app: AppId(0),
+            op,
+            addr,
+            class: RequestClass::Normal,
+            arrival: MemCycle(0),
+        }
+    }
+
+    fn run(ch: &mut BobChannel, n: usize, limit: u64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        let mut now = MemCycle(0);
+        while done.len() < n && now.0 < limit {
+            ch.tick(now, &mut done);
+            now += MemCycle(1);
+        }
+        assert!(done.len() >= n, "{} of {n} completed", done.len());
+        done
+    }
+
+    #[test]
+    fn read_pays_two_link_traversals() {
+        let mut ch = BobChannel::new(BobChannelConfig::default());
+        ch.try_send(req(0, MemOp::Read, 0), MemCycle(0)).unwrap();
+        let done = run(&mut ch, 1, 2000);
+        // Direct-attached row-miss read is 26 cycles; BOB adds ≥ 2×(6+1).
+        assert!(
+            done[0].finished.0 >= 26 + 14,
+            "finished at {}",
+            done[0].finished.0
+        );
+        assert!(done[0].finished.0 < 100);
+    }
+
+    #[test]
+    fn write_completes_without_response_packet() {
+        let mut ch = BobChannel::new(BobChannelConfig::default());
+        ch.try_send(req(0, MemOp::Write, 0), MemCycle(0)).unwrap();
+        let done = run(&mut ch, 1, 2000);
+        assert_eq!(done[0].request.op, MemOp::Write);
+        let (to_mem, to_cpu) = ch.link_bytes();
+        assert_eq!(to_mem, 72, "write request is a full packet");
+        assert_eq!(to_cpu, 0, "no response for posted writes");
+    }
+
+    #[test]
+    fn read_request_is_short_packet() {
+        let mut ch = BobChannel::new(BobChannelConfig::default());
+        ch.try_send(req(0, MemOp::Read, 0), MemCycle(0)).unwrap();
+        run(&mut ch, 1, 2000);
+        let (to_mem, to_cpu) = ch.link_bytes();
+        assert_eq!(to_mem, 8);
+        assert_eq!(to_cpu, 72);
+    }
+
+    #[test]
+    fn four_sub_channels_interleave_lines() {
+        let cfg = BobChannelConfig {
+            link: LinkConfig::default(),
+            sub_channels: vec![SubChannelConfig::default(); 4],
+        };
+        let mut ch = BobChannel::new(cfg);
+        assert_eq!(ch.sub_channel_count(), 4);
+        for i in 0..8 {
+            ch.try_send(req(i, MemOp::Read, 64 * i), MemCycle(0)).unwrap();
+        }
+        run(&mut ch, 8, 4000);
+        for s in 0..4 {
+            assert_eq!(
+                ch.sub_channel(s).stats().reads.get(),
+                2,
+                "sub {s} should service exactly 2 of 8 interleaved lines"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sub_channels_beat_single() {
+        // 32 random-row reads across 4 sub-channels vs 1.
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 65536).collect();
+        let finish = |n_subs: usize| {
+            let cfg = BobChannelConfig {
+                link: LinkConfig::default(),
+                sub_channels: vec![SubChannelConfig::default(); n_subs],
+            };
+            let mut ch = BobChannel::new(cfg);
+            for (i, &a) in addrs.iter().enumerate() {
+                ch.try_send(req(i as u64, MemOp::Read, a), MemCycle(0)).unwrap();
+            }
+            run(&mut ch, 32, 50_000)
+                .iter()
+                .map(|c| c.finished.0)
+                .max()
+                .unwrap()
+        };
+        let one = finish(1);
+        let four = finish(4);
+        assert!(
+            (four as f64) < one as f64 * 0.55,
+            "4 subs {four} vs 1 sub {one}"
+        );
+    }
+
+    #[test]
+    fn is_idle_lifecycle() {
+        let mut ch = BobChannel::new(BobChannelConfig::default());
+        assert!(ch.is_idle());
+        ch.try_send(req(0, MemOp::Read, 0), MemCycle(0)).unwrap();
+        assert!(!ch.is_idle());
+        run(&mut ch, 1, 2000);
+        // One more tick to let everything settle.
+        let mut done = Vec::new();
+        ch.tick(MemCycle(5000), &mut done);
+        assert!(ch.is_idle());
+    }
+
+    #[test]
+    fn completions_preserve_request_identity() {
+        let mut ch = BobChannel::new(BobChannelConfig::default());
+        let r = req(77, MemOp::Read, 4096);
+        ch.try_send(r, MemCycle(0)).unwrap();
+        let done = run(&mut ch, 1, 2000);
+        assert_eq!(done[0].request.id, RequestId(77));
+        assert_eq!(done[0].request.addr, 4096, "original CPU-side address");
+    }
+}

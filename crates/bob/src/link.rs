@@ -1,0 +1,344 @@
+//! The BOB serial link.
+//!
+//! Each direction is an independent serializer: a packet occupies the lane
+//! for `ceil(bytes / bytes_per_cycle)` cycles, then travels for the fixed
+//! link+buffer latency (15 ns in Table II). The default bandwidth makes one
+//! serial link comparable to one DDR3-1600 parallel channel (§III-A:
+//! "the peak bandwidth of one serial link channel is set to be comparable
+//! with that of one parallel link channel"), i.e. 16 B per 1.25 ns tCK.
+
+use doram_sim::rng::Xoshiro256;
+use doram_sim::MemCycle;
+use std::collections::VecDeque;
+
+/// Link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Serialization bandwidth per direction, bytes per memory cycle.
+    pub bytes_per_cycle: u64,
+    /// One-way propagation + buffer latency, in memory cycles.
+    pub latency: MemCycle,
+    /// Maximum packets queued waiting for the serializer, per direction.
+    pub tx_queue: usize,
+    /// Probability (per million packets) that a frame is corrupted in
+    /// flight and must be retransmitted — high-speed serial links run a
+    /// CRC + replay protocol. 0 disables error injection.
+    pub error_rate_ppm: u32,
+    /// Seed for deterministic error injection.
+    pub error_seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> LinkConfig {
+        LinkConfig {
+            // 12.8 GB/s — one DDR3-1600 x64 channel — is 16 B per tCK.
+            bytes_per_cycle: 16,
+            // Table II charges 15 ns of "buffer logic and link latency"
+            // per transfer; a transfer crosses the link twice (request +
+            // response), so each direction carries half: 7.5 ns = 6 tCK.
+            latency: MemCycle::from_nanos(7.5),
+            tx_queue: 32,
+            error_rate_ppm: 0,
+            error_seed: 0x11_4B,
+        }
+    }
+}
+
+/// One direction of a serial link carrying messages of type `M`.
+#[derive(Debug, Clone)]
+struct Direction<M> {
+    cfg: LinkConfig,
+    /// Waiting to serialize: (wire bytes, message).
+    tx: VecDeque<(u64, M)>,
+    /// Serializer frees at this cycle.
+    tx_busy_until: MemCycle,
+    /// In flight: (arrival cycle, message), arrival-ordered.
+    flying: VecDeque<(MemCycle, M)>,
+    /// Total bytes ever accepted (for utilization accounting).
+    bytes_sent: u64,
+    /// Error-injection state.
+    rng: Xoshiro256,
+    /// Frames corrupted and replayed.
+    retransmissions: u64,
+}
+
+impl<M> Direction<M> {
+    fn new(cfg: LinkConfig, stream: u64) -> Direction<M> {
+        Direction {
+            cfg,
+            tx: VecDeque::new(),
+            tx_busy_until: MemCycle::ZERO,
+            flying: VecDeque::new(),
+            bytes_sent: 0,
+            rng: Xoshiro256::stream(cfg.error_seed, stream),
+            retransmissions: 0,
+        }
+    }
+
+    fn send(&mut self, bytes: u64, msg: M) -> Result<(), M> {
+        if self.tx.len() >= self.cfg.tx_queue {
+            return Err(msg);
+        }
+        self.tx.push_back((bytes, msg));
+        self.bytes_sent += bytes;
+        Ok(())
+    }
+
+    /// Moves queued packets into flight as the serializer frees up, then
+    /// delivers everything that has arrived by `now`.
+    fn tick(&mut self, now: MemCycle, out: &mut Vec<M>) {
+        while let Some(&(bytes, _)) = self.tx.front() {
+            let start = self.tx_busy_until.max(now);
+            if start > now {
+                break;
+            }
+            let ser_cycles = bytes.div_ceil(self.cfg.bytes_per_cycle).max(1);
+            let done = start + MemCycle(ser_cycles);
+            self.tx_busy_until = done;
+            let (_, msg) = self.tx.pop_front().expect("front checked");
+            // CRC error + replay: a corrupted frame is detected at the
+            // receiver and retransmitted — one extra round trip plus the
+            // serialization cost, charged up front for simplicity.
+            let mut arrival = done + self.cfg.latency;
+            if self.cfg.error_rate_ppm > 0 {
+                while self.rng.gen_below(1_000_000) < self.cfg.error_rate_ppm as u64 {
+                    arrival = arrival + self.cfg.latency + self.cfg.latency + MemCycle(ser_cycles);
+                    self.retransmissions += 1;
+                }
+            }
+            // Keep arrival order sorted: a replayed frame lands after
+            // frames sent later (the link delivers in arrival order).
+            let pos = self
+                .flying
+                .iter()
+                .position(|&(t, _)| t > arrival)
+                .unwrap_or(self.flying.len());
+            self.flying.insert(pos, (arrival, msg));
+        }
+        while let Some(&(arrive, _)) = self.flying.front() {
+            if arrive <= now {
+                let (_, msg) = self.flying.pop_front().expect("front checked");
+                out.push(msg);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.tx.len() + self.flying.len()
+    }
+}
+
+/// A full-duplex serial link between a MainMC (CPU side) and a SimpleMC
+/// (memory side).
+#[derive(Debug, Clone)]
+pub struct Link<M> {
+    to_mem: Direction<M>,
+    to_cpu: Direction<M>,
+}
+
+impl<M> Link<M> {
+    /// Creates a link with the given per-direction configuration.
+    pub fn new(cfg: LinkConfig) -> Link<M> {
+        Link {
+            to_mem: Direction::new(cfg, 0),
+            to_cpu: Direction::new(cfg, 1),
+        }
+    }
+
+    /// Queues a message toward the memory side.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message when the TX queue is full.
+    pub fn send_to_mem(&mut self, wire_bytes: u64, msg: M) -> Result<(), M> {
+        self.to_mem.send(wire_bytes, msg)
+    }
+
+    /// Queues a message toward the CPU side.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message when the TX queue is full.
+    pub fn send_to_cpu(&mut self, wire_bytes: u64, msg: M) -> Result<(), M> {
+        self.to_cpu.send(wire_bytes, msg)
+    }
+
+    /// Whether the memory-bound TX queue can accept another packet.
+    pub fn can_send_to_mem(&self) -> bool {
+        self.to_mem.tx.len() < self.to_mem.cfg.tx_queue
+    }
+
+    /// Whether the CPU-bound TX queue can accept another packet.
+    pub fn can_send_to_cpu(&self) -> bool {
+        self.to_cpu.tx.len() < self.to_cpu.cfg.tx_queue
+    }
+
+    /// Advances both directions, delivering arrived messages.
+    pub fn tick(
+        &mut self,
+        now: MemCycle,
+        arrived_at_mem: &mut Vec<M>,
+        arrived_at_cpu: &mut Vec<M>,
+    ) {
+        self.to_mem.tick(now, arrived_at_mem);
+        self.to_cpu.tick(now, arrived_at_cpu);
+    }
+
+    /// Messages queued or in flight in either direction.
+    pub fn pending(&self) -> usize {
+        self.to_mem.pending() + self.to_cpu.pending()
+    }
+
+    /// Total bytes accepted (to-mem, to-cpu) — link utilization numerators.
+    pub fn bytes_sent(&self) -> (u64, u64) {
+        (self.to_mem.bytes_sent, self.to_cpu.bytes_sent)
+    }
+
+    /// Frames corrupted and replayed (to-mem, to-cpu).
+    pub fn retransmissions(&self) -> (u64, u64) {
+        (self.to_mem.retransmissions, self.to_cpu.retransmissions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(link: &mut Link<u32>, upto: u64) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        for c in 0..=upto {
+            let mut at_mem = Vec::new();
+            let mut at_cpu = Vec::new();
+            link.tick(MemCycle(c), &mut at_mem, &mut at_cpu);
+            for m in at_mem {
+                out.push((c, m));
+            }
+            for m in at_cpu {
+                out.push((c, m));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_packet_latency() {
+        // 72 B at 16 B/cycle = 5 cycles serialize (send at cycle 0 → done 5)
+        // + 6 cycles latency → arrives at 11.
+        let mut link = Link::new(LinkConfig::default());
+        link.send_to_mem(72, 1u32).unwrap();
+        let got = drain(&mut link, 40);
+        assert_eq!(got, vec![(11, 1)]);
+    }
+
+    #[test]
+    fn short_packet_serializes_faster() {
+        let mut link = Link::new(LinkConfig::default());
+        link.send_to_mem(8, 7u32).unwrap();
+        let got = drain(&mut link, 40);
+        assert_eq!(got, vec![(7, 7)]); // 1 cycle serialize + 6 latency
+    }
+
+    #[test]
+    fn serialization_is_back_to_back() {
+        // Two full packets pipeline: arrivals 5 cycles apart.
+        let mut link = Link::new(LinkConfig::default());
+        link.send_to_mem(72, 1u32).unwrap();
+        link.send_to_mem(72, 2u32).unwrap();
+        let got = drain(&mut link, 60);
+        assert_eq!(got, vec![(11, 1), (16, 2)]);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut link = Link::new(LinkConfig::default());
+        link.send_to_mem(72, 1u32).unwrap();
+        link.send_to_cpu(72, 2u32).unwrap();
+        let mut at_mem = Vec::new();
+        let mut at_cpu = Vec::new();
+        for c in 0..=11 {
+            link.tick(MemCycle(c), &mut at_mem, &mut at_cpu);
+        }
+        assert_eq!(at_mem, vec![1]);
+        assert_eq!(at_cpu, vec![2]);
+    }
+
+    #[test]
+    fn tx_queue_backpressure() {
+        let cfg = LinkConfig {
+            tx_queue: 2,
+            ..LinkConfig::default()
+        };
+        let mut link = Link::new(cfg);
+        assert!(link.send_to_mem(72, 1u32).is_ok());
+        assert!(link.send_to_mem(72, 2u32).is_ok());
+        assert!(!link.can_send_to_mem());
+        assert_eq!(link.send_to_mem(72, 3u32), Err(3));
+        assert!(link.can_send_to_cpu());
+    }
+
+    #[test]
+    fn pending_and_bytes_accounting() {
+        let mut link = Link::new(LinkConfig::default());
+        link.send_to_mem(72, 1u32).unwrap();
+        link.send_to_cpu(8, 2u32).unwrap();
+        assert_eq!(link.pending(), 2);
+        assert_eq!(link.bytes_sent(), (72, 8));
+        drain(&mut link, 40);
+        assert_eq!(link.pending(), 0);
+    }
+
+    #[test]
+    fn error_injection_replays_and_delays() {
+        let clean = LinkConfig::default();
+        let lossy = LinkConfig {
+            error_rate_ppm: 200_000, // 20%: exaggerated to observe quickly
+            ..clean
+        };
+        let run = |cfg: LinkConfig| {
+            let mut link: Link<u32> = Link::new(cfg);
+            let mut next = 0u32;
+            let mut got = Vec::new();
+            for c in 0..50_000u64 {
+                if next < 200 && link.send_to_mem(72, next).is_ok() {
+                    next += 1;
+                }
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                link.tick(MemCycle(c), &mut a, &mut b);
+                for m in a {
+                    got.push((m, c));
+                }
+                if got.len() == 200 {
+                    break;
+                }
+            }
+            (got, link.retransmissions().0)
+        };
+        let (clean_got, clean_retx) = run(clean);
+        let (lossy_got, lossy_retx) = run(lossy);
+        assert_eq!(clean_retx, 0);
+        assert!(lossy_retx > 10, "retransmissions {lossy_retx}");
+        assert_eq!(clean_got.len(), 200);
+        assert_eq!(lossy_got.len(), 200, "no frame is ever lost");
+        // The serializer is the throughput bottleneck, so the *final*
+        // arrival only moves if the last frame itself is corrupted;
+        // replays always show up in the aggregate latency though.
+        let sum = |v: &[(u32, u64)]| v.iter().map(|&(_, t)| t).sum::<u64>();
+        assert!(
+            sum(&lossy_got) > sum(&clean_got),
+            "replays must cost aggregate time"
+        );
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut link = Link::new(LinkConfig::default());
+        for i in 0..10u32 {
+            link.send_to_mem(8, i).unwrap();
+        }
+        let got: Vec<u32> = drain(&mut link, 100).into_iter().map(|(_, m)| m).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

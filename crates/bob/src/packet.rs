@@ -1,0 +1,134 @@
+//! BOB packet kinds, wire sizes, and the functional 72 B payload layout.
+//!
+//! §III-B: a full packet is 72 B — access type (1 bit), memory address
+//! (63 bits), data (512 bits). The tree-split optimization (§III-C)
+//! additionally uses *short* read packets with the data field omitted.
+
+/// Wire size of a full BOB packet (type + address + 64 B data).
+pub const FULL_PACKET_BYTES: u64 = 72;
+
+/// Wire size of a short read packet (type + address only).
+pub const SHORT_PACKET_BYTES: u64 = 8;
+
+/// The kinds of packets that cross a BOB serial link, with their sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// CPU → SimpleMC read request on a normal channel (short).
+    ReadRequest,
+    /// CPU → SimpleMC write request (carries data: full).
+    WriteRequest,
+    /// SimpleMC → CPU read response (carries data: full).
+    ReadResponse,
+    /// CPU ↔ SD packet on the secure channel. Always full-size with a data
+    /// field attached even for reads, so request types are
+    /// indistinguishable (§III-B item 1).
+    Secure,
+}
+
+impl PacketKind {
+    /// Bytes this packet occupies on the serial link.
+    pub fn wire_bytes(self) -> u64 {
+        match self {
+            PacketKind::ReadRequest => SHORT_PACKET_BYTES,
+            PacketKind::WriteRequest | PacketKind::ReadResponse | PacketKind::Secure => {
+                FULL_PACKET_BYTES
+            }
+        }
+    }
+}
+
+/// Functional content of a full 72 B packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Payload {
+    /// `true` for writes.
+    pub is_write: bool,
+    /// 63-bit memory address.
+    pub addr: u64,
+    /// 64 B data field (dummy zeros for reads, §III-B item 1).
+    pub data: [u8; 64],
+}
+
+/// Encodes a payload into the 72 B wire format: 1-bit type packed with the
+/// 63-bit address into 8 big-endian bytes, followed by the data field.
+///
+/// # Panics
+///
+/// Panics if `addr` does not fit in 63 bits.
+pub fn encode_payload(p: &Payload) -> [u8; 72] {
+    assert!(p.addr < (1 << 63), "address must fit in 63 bits");
+    let mut out = [0u8; 72];
+    let head = ((p.is_write as u64) << 63) | p.addr;
+    out[..8].copy_from_slice(&head.to_be_bytes());
+    out[8..].copy_from_slice(&p.data);
+    out
+}
+
+/// Decodes a 72 B wire packet back into a [`Payload`].
+pub fn decode_payload(bytes: &[u8; 72]) -> Payload {
+    let head = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+    let mut data = [0u8; 64];
+    data.copy_from_slice(&bytes[8..]);
+    Payload {
+        is_write: head >> 63 == 1,
+        addr: head & ((1 << 63) - 1),
+        data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_match_paper() {
+        assert_eq!(PacketKind::Secure.wire_bytes(), 72);
+        assert_eq!(PacketKind::WriteRequest.wire_bytes(), 72);
+        assert_eq!(PacketKind::ReadResponse.wire_bytes(), 72);
+        assert_eq!(PacketKind::ReadRequest.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = Payload {
+            is_write: true,
+            addr: 0x1234_5678_9ABC,
+            data: [0xAB; 64],
+        };
+        assert_eq!(decode_payload(&encode_payload(&p)), p);
+        let q = Payload {
+            is_write: false,
+            addr: (1 << 63) - 1,
+            data: [0; 64],
+        };
+        assert_eq!(decode_payload(&encode_payload(&q)), q);
+    }
+
+    #[test]
+    fn type_bit_does_not_clobber_address() {
+        let read = Payload {
+            is_write: false,
+            addr: 42,
+            data: [0; 64],
+        };
+        let write = Payload {
+            is_write: true,
+            addr: 42,
+            data: [0; 64],
+        };
+        let eb = encode_payload(&read);
+        let wb = encode_payload(&write);
+        assert_ne!(eb[0], wb[0]);
+        assert_eq!(decode_payload(&eb).addr, 42);
+        assert_eq!(decode_payload(&wb).addr, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "63 bits")]
+    fn oversized_address_panics() {
+        let _ = encode_payload(&Payload {
+            is_write: false,
+            addr: 1 << 63,
+            data: [0; 64],
+        });
+    }
+}

@@ -1,0 +1,183 @@
+//! Regeneration of every table and figure in the paper's evaluation.
+//!
+//! Each submodule reproduces one exhibit: it runs the required simulations
+//! and returns typed rows plus a plain-text rendering in the paper's
+//! layout. The experiment binaries in `doram-bench` are thin wrappers
+//! around these functions, so integration tests and benches exercise the
+//! same code paths.
+//!
+//! | Module | Exhibit | Content |
+//! |---|---|---|
+//! | [`fig4`] | Figure 4 | NS-App degradation under co-run settings |
+//! | [`fig8`] | Figure 8 | profiled channel-latency slowdowns |
+//! | [`fig9`] | Figure 9 | Normalized execution time of the D-ORAM family |
+//! | [`fig10`] | Figure 10 | Overhead of expanding the tree (+k) |
+//! | [`fig11`] | Figure 11 | Secure-channel sharing sweep (c = 0..7) |
+//! | [`fig12`] | Figure 12 | T25mix/T33 ratio vs best c |
+//! | [`fig13`] | Figure 13 | NS-App read/write latency reduction |
+//! | [`table1`] | Table I | Tree-split space and message accounting |
+//! | [`ablations`] | — | design-choice sweeps beyond the paper |
+//! | [`sapp`] | §V-E | S-App latency/throughput impact |
+//! | [`validation`] | all | machine-checked reproduction scorecard |
+//! | [`table3`] | Table III | Benchmark MPKIs (spec vs measured) |
+//!
+//! Absolute numbers differ from the paper (synthetic traces, scaled runs);
+//! the *shapes* — orderings, approximate factors, crossovers — are the
+//! reproduction targets recorded in `EXPERIMENTS.md`.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig4;
+pub mod fig8;
+pub mod fig9;
+pub mod sapp;
+pub mod table1;
+pub mod table3;
+pub mod validation;
+
+use crate::config::{Scheme, SystemConfig};
+use crate::metrics::RunReport;
+use crate::system::{SimError, Simulation};
+use doram_trace::Benchmark;
+
+/// Scale of an experiment sweep.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Memory accesses per NS-App trace.
+    pub ns_accesses: u64,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Benchmarks to sweep (default: all fifteen).
+    pub benchmarks: Vec<Benchmark>,
+}
+
+impl Scale {
+    /// Fast scale for tests and Criterion benches: two representative
+    /// benchmarks, short traces.
+    pub fn quick() -> Scale {
+        Scale {
+            ns_accesses: 800,
+            seed: 1,
+            benchmarks: vec![Benchmark::Mummer, Benchmark::Libq],
+        }
+    }
+
+    /// The default reproduction scale: all benchmarks, traces long enough
+    /// for stable shapes (minutes of wall clock for the big sweeps).
+    pub fn full() -> Scale {
+        Scale {
+            ns_accesses: 2_000,
+            seed: 1,
+            benchmarks: Benchmark::ALL.to_vec(),
+        }
+    }
+
+    /// Reads `DORAM_ACCESSES` (trace length) and `DORAM_BENCH`
+    /// (comma-separated benchmark names) from the environment, falling
+    /// back to [`Scale::full`].
+    pub fn from_env() -> Scale {
+        let mut scale = Scale::full();
+        if let Ok(n) = std::env::var("DORAM_ACCESSES") {
+            if let Ok(n) = n.parse() {
+                scale.ns_accesses = n;
+            }
+        }
+        if let Ok(list) = std::env::var("DORAM_BENCH") {
+            let wanted: Vec<Benchmark> = Benchmark::ALL
+                .into_iter()
+                .filter(|b| list.split(',').any(|n| n.trim() == b.spec().name))
+                .collect();
+            if !wanted.is_empty() {
+                scale.benchmarks = wanted;
+            }
+        }
+        scale
+    }
+}
+
+/// Maps `f` over the benchmarks of `scale`, running up to
+/// `std::thread::available_parallelism()` simulations concurrently
+/// (each simulation is single-threaded and deterministic, so parallel
+/// sweeps return bit-identical results in benchmark order).
+///
+/// # Errors
+///
+/// Propagates the first error in benchmark order.
+pub fn par_over_benchmarks<T: Send>(
+    scale: &Scale,
+    f: impl Fn(Benchmark) -> Result<T, SimError> + Sync,
+) -> Result<Vec<T>, SimError> {
+    let benches = &scale.benchmarks;
+    let mut results: Vec<Option<Result<T, SimError>>> = Vec::new();
+    results.resize_with(benches.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = std::sync::Mutex::new(&mut results);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(benches.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= benches.len() {
+                    break;
+                }
+                let r = f(benches[i]);
+                slots.lock().expect("no panics hold the lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every index filled"))
+        .collect()
+}
+
+/// Runs one D-ORAM configuration and returns the mean NS-App execution
+/// time in CPU cycles — a convenience for callers composing custom
+/// sweeps (e.g. the `all_figures` binary re-deriving Figure 9 from a
+/// shared Figure 11 sweep).
+///
+/// # Errors
+///
+/// Propagates the simulation error.
+pub fn run_one(benchmark: Benchmark, k: u32, c: u32, scale: &Scale) -> Result<f64, SimError> {
+    Ok(run_scheme(benchmark, Scheme::DOram { k, c }, scale)?.ns_exec_mean())
+}
+
+/// Runs one scheme for one benchmark at the given scale.
+pub(crate) fn run_scheme(
+    benchmark: Benchmark,
+    scheme: Scheme,
+    scale: &Scale,
+) -> Result<RunReport, SimError> {
+    let cfg = SystemConfig::builder(benchmark)
+        .scheme(scheme)
+        .ns_accesses(scale.ns_accesses)
+        .seed(scale.seed)
+        .build()
+        .expect("experiment configuration is valid");
+    Simulation::new(cfg).expect("validated").run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_constructors() {
+        assert_eq!(Scale::full().benchmarks.len(), 15);
+        assert!(Scale::quick().ns_accesses < Scale::full().ns_accesses);
+    }
+
+    #[test]
+    fn env_scale_parsing() {
+        // from_env without variables == full.
+        let s = Scale::from_env();
+        assert!(!s.benchmarks.is_empty());
+    }
+}

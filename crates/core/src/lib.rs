@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! D-ORAM full-system model: schemes, system driver, and experiments.
+//!
+//! This crate assembles the substrates — DDR3 channels (`doram-dram`), BOB
+//! links (`doram-bob`), trace-driven cores (`doram-cpu` / `doram-trace`),
+//! Path ORAM planning (`doram-oram`), and the secure-memory comparator
+//! (`doram-secmem`) — into the co-run configurations the paper evaluates,
+//! and regenerates every table and figure of its evaluation section.
+//!
+//! # Schemes (§V)
+//!
+//! | [`Scheme`] variant | Paper name |
+//! |---|---|
+//! | `SoloNs` | 1NS |
+//! | `Ns7on4` / `Ns7on3` | 7NS-4ch / 7NS-3ch |
+//! | `Baseline` | Baseline / 1S7NS (Path ORAM) |
+//! | `SecureMemory` | 1S7NS (ObfusMem/InvisiMem-like) |
+//! | `DOram { k, c }` | D-ORAM / D-ORAM+k / D-ORAM/c / D-ORAM+k/c |
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use doram_core::{Scheme, SystemConfig, Simulation};
+//! use doram_trace::Benchmark;
+//!
+//! let cfg = SystemConfig::builder(Benchmark::Mummer)
+//!     .scheme(Scheme::DOram { k: 1, c: 4 })
+//!     .ns_accesses(5_000)
+//!     .build()?;
+//! let report = Simulation::new(cfg)?.run()?;
+//! println!("mean NS-App time: {} CPU cycles", report.ns_exec_mean());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod channels;
+pub mod config;
+pub mod cpu_engine;
+pub mod experiments;
+pub mod metrics;
+pub mod onchip_oram;
+pub mod profiling;
+pub mod report;
+pub mod secmem_frontend;
+pub mod secure_channel;
+pub mod system;
+
+pub use config::{Scheme, SystemConfig, SystemConfigBuilder};
+pub use metrics::RunReport;
+pub use system::Simulation;

@@ -1,0 +1,149 @@
+//! Run-level metrics.
+
+use crate::config::Scheme;
+use doram_dram::EnergyBreakdown;
+use doram_sim::stats::{geometric_mean, Histogram, RunningMean};
+use doram_trace::Benchmark;
+
+/// Summary of the ORAM controller's activity in a run.
+#[derive(Debug, Clone, Default)]
+pub struct OramSummary {
+    /// Real accesses completed.
+    pub real_accesses: u64,
+    /// Dummy accesses completed.
+    pub dummy_accesses: u64,
+    /// Mean full-access latency (memory cycles).
+    pub access_latency: f64,
+    /// Mean read-phase latency (memory cycles).
+    pub read_phase_latency: f64,
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scheme simulated.
+    pub scheme: Scheme,
+    /// Benchmark all apps ran.
+    pub benchmark: Benchmark,
+    /// Per-NS-App execution time (CPU cycles to first trace completion).
+    pub ns_exec_cpu_cycles: Vec<u64>,
+    /// S-App execution time, if it completed its trace within the run.
+    pub s_exec_cpu_cycles: Option<u64>,
+    /// NS-App read latency (memory cycles, arrival → data at CPU).
+    pub ns_read_latency: RunningMean,
+    /// NS-App write latency (memory cycles, arrival → DRAM write done).
+    pub ns_write_latency: RunningMean,
+    /// Read latency per NS-App.
+    pub per_app_read_latency: Vec<RunningMean>,
+    /// NS read-latency distribution (8-cycle buckets up to 2048 cycles).
+    pub ns_read_histogram: Histogram,
+    /// Data-bus utilization per channel.
+    pub channel_utilization: Vec<f64>,
+    /// Row-buffer hit rate per channel.
+    pub channel_row_hit: Vec<f64>,
+    /// ORAM activity (schemes with an S-App under Path ORAM).
+    pub oram: Option<OramSummary>,
+    /// Secure-channel link traffic (to-mem, to-cpu bytes), D-ORAM only.
+    pub secure_link_bytes: Option<(u64, u64)>,
+    /// DRAM energy per channel (secure channel first in D-ORAM).
+    pub channel_energy: Vec<EnergyBreakdown>,
+    /// Mean memory-level parallelism per core (S-App first when present).
+    pub per_core_mlp: Vec<f64>,
+    /// Total simulated memory cycles.
+    pub total_mem_cycles: u64,
+}
+
+impl RunReport {
+    /// Arithmetic mean of NS-App execution times.
+    pub fn ns_exec_mean(&self) -> f64 {
+        if self.ns_exec_cpu_cycles.is_empty() {
+            return 0.0;
+        }
+        self.ns_exec_cpu_cycles.iter().sum::<u64>() as f64 / self.ns_exec_cpu_cycles.len() as f64
+    }
+
+    /// Geometric mean of NS-App execution times (the paper's summary
+    /// statistic).
+    pub fn ns_exec_geomean(&self) -> f64 {
+        let v: Vec<f64> = self.ns_exec_cpu_cycles.iter().map(|&c| c as f64).collect();
+        geometric_mean(&v)
+    }
+
+    /// Slowest NS-App execution time.
+    pub fn ns_exec_worst(&self) -> u64 {
+        self.ns_exec_cpu_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fastest NS-App execution time.
+    pub fn ns_exec_best(&self) -> u64 {
+        self.ns_exec_cpu_cycles.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Approximate NS read-latency percentile (e.g. `0.95`), in memory
+    /// cycles; `None` before any read completed.
+    pub fn ns_read_percentile(&self, q: f64) -> Option<u64> {
+        self.ns_read_histogram.quantile(q)
+    }
+
+    /// Total DRAM energy of the run, in millijoules.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.channel_energy
+            .iter()
+            .fold(EnergyBreakdown::default(), |acc, e| acc.add(e))
+            .total_mj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(times: Vec<u64>) -> RunReport {
+        RunReport {
+            scheme: Scheme::Baseline,
+            benchmark: Benchmark::Black,
+            ns_exec_cpu_cycles: times,
+            s_exec_cpu_cycles: None,
+            ns_read_latency: RunningMean::new(),
+            ns_write_latency: RunningMean::new(),
+            per_app_read_latency: vec![],
+            ns_read_histogram: Histogram::new(8, 256),
+            channel_utilization: vec![],
+            channel_row_hit: vec![],
+            oram: None,
+            secure_link_bytes: None,
+            channel_energy: vec![],
+            per_core_mlp: vec![],
+            total_mem_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report(vec![100, 400]);
+        assert_eq!(r.ns_exec_mean(), 250.0);
+        assert!((r.ns_exec_geomean() - 200.0).abs() < 1e-9);
+        assert_eq!(r.ns_exec_worst(), 400);
+        assert_eq!(r.ns_exec_best(), 100);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let r = report(vec![]);
+        assert_eq!(r.ns_exec_mean(), 0.0);
+        assert_eq!(r.ns_exec_geomean(), 0.0);
+        assert_eq!(r.ns_exec_worst(), 0);
+        assert_eq!(r.ns_read_percentile(0.5), None);
+        assert_eq!(r.total_energy_mj(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_histogram() {
+        let mut r = report(vec![1]);
+        for v in 0..100 {
+            r.ns_read_histogram.record(v);
+        }
+        let p50 = r.ns_read_percentile(0.5).unwrap();
+        assert!((48..=64).contains(&p50), "p50 {p50}");
+    }
+}

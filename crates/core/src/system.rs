@@ -1,0 +1,1062 @@
+//! The full-system simulation driver.
+//!
+//! Steps the 8-core CMP against the memory backend of the configured
+//! scheme at memory-clock granularity (4 CPU cycles per memory cycle, as
+//! USIMM does). NS-App cores that finish their trace are restarted with a
+//! fresh trace segment so memory pressure stays constant; the reported
+//! execution time is the first completion.
+
+use crate::channels::{ChannelFabric, NsRouter, SPLIT_REGION_BASE};
+use crate::config::{Scheme, SystemConfig};
+use crate::cpu_engine::CpuEngine;
+use crate::metrics::{OramSummary, RunReport};
+use crate::onchip_oram::{FabricSink, FsmEvent, OramFsm, OramJob};
+use crate::secmem_frontend::SecMemFrontend;
+use crate::secure_channel::{SecureChannel, SecureChannelConfig, SplitFetch};
+use doram_cpu::{CoreConfig, MemoryPort, TraceCore};
+use doram_dram::{Completion, MemOp, MemRequest, RequestClass};
+use doram_oram::plan::PlanConfig;
+use doram_oram::split::SplitConfig;
+use doram_oram::tree::TreeGeometry;
+use doram_sim::stats::{Histogram, RunningMean};
+use doram_sim::{AppId, ConfigError, MemCycle, RequestId, RequestIdGen, CPU_CYCLES_PER_MEM_CYCLE};
+use doram_trace::TraceGenerator;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Error ending a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configured cycle cap was reached before all NS-Apps finished.
+    CycleCapExceeded {
+        /// The cap that was hit.
+        cap: u64,
+    },
+    /// A sub-channel's command stream violated a JEDEC timing rule
+    /// (only reported by [`Simulation::run_with_conformance_check`]).
+    JedecViolation {
+        /// Which sub-channel (flat index across channels).
+        sub_channel: usize,
+        /// First violation's description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CycleCapExceeded { cap } => {
+                write!(f, "simulation exceeded the {cap}-memory-cycle cap")
+            }
+            SimError::JedecViolation { sub_channel, detail } => {
+                write!(f, "JEDEC violation on sub-channel {sub_channel}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One core and its bookkeeping.
+struct CoreSlot {
+    core: TraceCore,
+    is_sapp: bool,
+    first_finish_cpu: Option<u64>,
+    restarts: u64,
+}
+
+/// The scheme-specific memory backend.
+#[allow(clippy::large_enum_variant)] // one backend is live per run; no arrays of these
+enum Backend {
+    /// Pure NS schemes (1NS, 7NS-4ch, 7NS-3ch): direct channels only.
+    Plain { fabric: ChannelFabric },
+    /// Baseline: direct channels + on-chip Path ORAM controller.
+    BaselineOram {
+        fabric: ChannelFabric,
+        fsm: OramFsm,
+        oram_ids: HashSet<RequestId>,
+    },
+    /// 1S7NS under the secure-memory model.
+    SecMem {
+        fabric: ChannelFabric,
+        frontend: SecMemFrontend,
+    },
+    /// D-ORAM: BOB normal channels + secure channel with SD.
+    DOram {
+        normals: ChannelFabric,
+        secure: Box<SecureChannel>,
+        engine: CpuEngine,
+        /// Outstanding split reads on normal channels: id → fetch.
+        split_fwd: HashMap<RequestId, SplitFetch>,
+        /// Split operations waiting for normal-channel capacity.
+        pending_split: VecDeque<(SplitFetch, MemOp)>,
+        /// Fetched split blocks waiting for secure-link capacity.
+        pending_deliver: VecDeque<SplitFetch>,
+    },
+}
+
+/// Everything the memory side owns (kept separate from the cores so both
+/// can be borrowed at once).
+struct MemoryState {
+    backend: Backend,
+    routers: Vec<NsRouter>,
+    idgen: RequestIdGen,
+    /// Read ids the cores are blocked on → core index.
+    owners: HashMap<RequestId, usize>,
+    sapp_present: bool,
+    // Metrics.
+    ns_read_latency: RunningMean,
+    ns_write_latency: RunningMean,
+    per_app_read_latency: Vec<RunningMean>,
+    ns_read_histogram: Histogram,
+    /// Read ids completed this cycle, to deliver to cores.
+    ready_reads: Vec<(usize, RequestId)>,
+}
+
+impl MemoryState {
+    /// NS router index for a core.
+    fn ns_index(&self, core_idx: usize) -> usize {
+        core_idx - usize::from(self.sapp_present)
+    }
+
+}
+
+/// The port one core uses during its step.
+struct CorePort<'a> {
+    mem: &'a mut MemoryState,
+    core_idx: usize,
+    is_sapp: bool,
+    now: MemCycle,
+    /// Set by [`CorePort::try_sapp`] when an S-App *write* was accepted
+    /// (writes return no id, so acceptance travels through this flag).
+    sapp_write_ok: bool,
+}
+
+impl MemoryPort for CorePort<'_> {
+    fn try_read(&mut self, addr: u64) -> Option<RequestId> {
+        if self.is_sapp {
+            return self.try_sapp(Some(MemOp::Read), addr);
+        }
+        let ns = self.mem.ns_index(self.core_idx);
+        let id = self.mem.idgen.next_id();
+        let (ch, req) = self.mem.routers[ns].request(id, MemOp::Read, addr, self.now);
+        if try_route_ns(&mut self.mem.backend, ch, req, self.now) {
+            self.mem.owners.insert(id, self.core_idx);
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn try_write(&mut self, addr: u64) -> bool {
+        if self.is_sapp {
+            return self.try_sapp(None, addr).is_some() || self.sapp_write_ok;
+        }
+        let ns = self.mem.ns_index(self.core_idx);
+        let id = self.mem.idgen.next_id();
+        let (ch, req) = self.mem.routers[ns].request(id, MemOp::Write, addr, self.now);
+        try_route_ns(&mut self.mem.backend, ch, req, self.now)
+    }
+}
+
+impl CorePort<'_> {
+    /// S-App access through the scheme's protection frontend. For reads,
+    /// returns the id the core blocks on; for writes, `Some(dummy)` iff
+    /// accepted (via the `sapp_write_ok` flag dance below).
+    fn try_sapp(&mut self, read: Option<MemOp>, addr: u64) -> Option<RequestId> {
+        self.sapp_write_ok = false;
+        let block = addr >> 6;
+        let is_read = read.is_some();
+        match &mut self.mem.backend {
+            Backend::Plain { .. } => unreachable!("no S-App in plain schemes"),
+            Backend::BaselineOram { fsm, .. } => {
+                if !fsm.can_submit() {
+                    return None;
+                }
+                if is_read {
+                    let id = self.mem.idgen.next_id();
+                    fsm.submit(OramJob::Real {
+                        id: Some(id),
+                        op: MemOp::Read,
+                        block,
+                    });
+                    self.mem.owners.insert(id, self.core_idx);
+                    Some(id)
+                } else {
+                    fsm.submit(OramJob::Real {
+                        id: None,
+                        op: MemOp::Write,
+                        block,
+                    });
+                    self.sapp_write_ok = true;
+                    None
+                }
+            }
+            Backend::SecMem { fabric, frontend } => {
+                if is_read {
+                    let id = self.mem.idgen.next_id();
+                    if frontend.try_submit(
+                        Some(id),
+                        MemOp::Read,
+                        addr,
+                        self.now,
+                        fabric,
+                        &mut self.mem.idgen,
+                    ) {
+                        self.mem.owners.insert(id, self.core_idx);
+                        Some(id)
+                    } else {
+                        None
+                    }
+                } else {
+                    self.sapp_write_ok = frontend.try_submit(
+                        None,
+                        MemOp::Write,
+                        addr,
+                        self.now,
+                        fabric,
+                        &mut self.mem.idgen,
+                    );
+                    None
+                }
+            }
+            Backend::DOram { engine, .. } => {
+                if !engine.can_submit() {
+                    return None;
+                }
+                if is_read {
+                    let id = self.mem.idgen.next_id();
+                    engine.submit(Some(id), MemOp::Read, block);
+                    self.mem.owners.insert(id, self.core_idx);
+                    Some(id)
+                } else {
+                    engine.submit(None, MemOp::Write, block);
+                    self.sapp_write_ok = true;
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Routes an NS request to its channel in any backend.
+fn try_route_ns(backend: &mut Backend, ch: usize, req: MemRequest, now: MemCycle) -> bool {
+    match backend {
+        Backend::Plain { fabric }
+        | Backend::BaselineOram { fabric, .. }
+        | Backend::SecMem { fabric, .. } => fabric.channel_mut(ch).try_enqueue(req, now).is_ok(),
+        Backend::DOram {
+            normals, secure, ..
+        } => {
+            if ch == 0 {
+                secure.try_send_ns(req).is_ok()
+            } else {
+                normals.channel_mut(ch - 1).try_enqueue(req, now).is_ok()
+            }
+        }
+    }
+}
+
+/// A configured, runnable simulation.
+pub struct Simulation {
+    cfg: SystemConfig,
+    cores: Vec<CoreSlot>,
+    mem: MemoryState,
+}
+
+impl Simulation {
+    /// Builds the system for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(cfg: SystemConfig) -> Result<Simulation, ConfigError> {
+        cfg.validate()?;
+        let sapp = cfg.scheme.has_sapp();
+        let n_ns = cfg.scheme.ns_apps();
+        let n_cores = n_ns + usize::from(sapp);
+
+        // Cores and traces.
+        let mut cores = Vec::with_capacity(n_cores);
+        for core_idx in 0..n_cores {
+            let is_sapp = sapp && core_idx == 0;
+            let accesses = if is_sapp { cfg.s_accesses } else { cfg.ns_accesses };
+            let bench = if is_sapp {
+                cfg.benchmark
+            } else {
+                cfg.ns_benchmark(core_idx - usize::from(sapp))
+            };
+            let stream = trace_stream_id(&cfg, core_idx, 0);
+            let gen = TraceGenerator::new(bench.spec(), cfg.seed, stream);
+            cores.push(CoreSlot {
+                core: TraceCore::new(CoreConfig::default(), Box::new(gen.finite(accesses))),
+                is_sapp,
+                first_finish_cpu: None,
+                restarts: 0,
+            });
+        }
+
+        // NS routing tables.
+        let routers: Vec<NsRouter> = (0..n_ns)
+            .map(|ns| {
+                NsRouter::new(
+                    AppId(ns + usize::from(sapp)),
+                    cfg.allowed_channels(ns),
+                )
+            })
+            .collect();
+
+        // Memory backend.
+        let share = match cfg.scheme {
+            // Cooperative bandwidth preallocation applies where the ORAM
+            // burst co-runs persistently: the Baseline's shared channels.
+            // D-ORAM's normal channels only see sparse split-level fetches,
+            // which plain FR-FCFS absorbs (slot partitioning would delay
+            // every fetch by up to an epoch and stall the SD's read phase).
+            Scheme::Baseline => cfg.share_threshold,
+            _ => 1.0,
+        };
+        let mut sub_cfg = ChannelFabric::paper_subchannel_config(cfg.timing, share);
+        sub_cfg.page_policy = cfg.page_policy;
+        let plan = PlanConfig {
+            geometry: TreeGeometry::new(cfg.tree_l_max, cfg.tree_z),
+            subtree_levels: cfg.subtree_levels,
+            cached_levels: cfg.tree_top_levels,
+            split: SplitConfig::none(),
+            tree_units: cfg.channels,
+        };
+        let backend = match cfg.scheme {
+            Scheme::SoloNs | Scheme::Ns7on4 | Scheme::Ns7on3 => Backend::Plain {
+                fabric: ChannelFabric::direct(cfg.channels, &sub_cfg),
+            },
+            Scheme::Baseline => Backend::BaselineOram {
+                fabric: ChannelFabric::direct(cfg.channels, &sub_cfg),
+                fsm: OramFsm::new(plan, cfg.seed ^ 0x0A0A, 4),
+                oram_ids: HashSet::new(),
+            },
+            // The partitioned setting confines the tree to channel #0
+            // (tree_units = 1 ⇒ every block lands on unit 0 = channel 0);
+            // the NS routers already exclude that channel.
+            Scheme::Partition1S => Backend::BaselineOram {
+                fabric: ChannelFabric::direct(cfg.channels, &sub_cfg),
+                fsm: OramFsm::new(
+                    PlanConfig {
+                        tree_units: 1,
+                        ..plan
+                    },
+                    cfg.seed ^ 0x0A0A,
+                    4,
+                ),
+                oram_ids: HashSet::new(),
+            },
+            Scheme::SecureMemory => Backend::SecMem {
+                fabric: ChannelFabric::direct(cfg.channels, &sub_cfg),
+                frontend: SecMemFrontend::new(cfg.channels, AppId(0), cfg.seed ^ 0x5EC),
+            },
+            Scheme::DOram { k, .. } => {
+                let split = if k == 0 {
+                    SplitConfig::none()
+                } else {
+                    SplitConfig::new(k, cfg.channels - 1)
+                };
+                let mut secure_sub_cfg = if cfg.secure_share_threshold >= 1.0 {
+                    doram_dram::SubChannelConfig {
+                        arbiter: doram_dram::ShareArbiter::oram_priority(),
+                        ..ChannelFabric::paper_subchannel_config(cfg.timing, 1.0)
+                    }
+                } else {
+                    ChannelFabric::paper_subchannel_config(cfg.timing, cfg.secure_share_threshold)
+                };
+                secure_sub_cfg.page_policy = cfg.page_policy;
+                let secure = SecureChannel::new(SecureChannelConfig {
+                    link: cfg.link,
+                    sub_channels: vec![secure_sub_cfg; cfg.secure_subchannels],
+                    plan: PlanConfig {
+                        split,
+                        tree_units: cfg.secure_subchannels,
+                        ..plan
+                    },
+                    s_app: AppId(0),
+                    seed: cfg.seed ^ 0x0A0A,
+                    merge_split_reads: cfg.merge_split_reads,
+                    sd_pipeline: cfg.sd_pipeline,
+                });
+                Backend::DOram {
+                    normals: ChannelFabric::bob(cfg.channels - 1, cfg.link, &sub_cfg),
+                    secure: Box::new(secure),
+                    engine: CpuEngine::new(cfg.dummy_interval_cpu, 4),
+                    split_fwd: HashMap::new(),
+                    pending_split: VecDeque::new(),
+                    pending_deliver: VecDeque::new(),
+                }
+            }
+        };
+
+        let mem = MemoryState {
+            backend,
+            routers,
+            idgen: RequestIdGen::new(),
+            owners: HashMap::new(),
+            sapp_present: sapp,
+            ns_read_latency: RunningMean::new(),
+            ns_write_latency: RunningMean::new(),
+            per_app_read_latency: vec![RunningMean::new(); n_cores],
+            ns_read_histogram: Histogram::new(8, 256),
+            ready_reads: Vec::new(),
+        };
+
+        Ok(Simulation { cfg, cores, mem })
+    }
+
+    /// Like [`run`](Simulation::run), but records every DRAM device
+    /// command and re-validates the full JEDEC rule set with the
+    /// independent checker of [`doram_dram::conformance`] before
+    /// reporting. Slower and memory-hungry; meant for validation suites.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleCapExceeded`] or [`SimError::JedecViolation`].
+    pub fn run_with_conformance_check(mut self) -> Result<RunReport, SimError> {
+        // Enable tracing everywhere.
+        match &mut self.mem.backend {
+            Backend::Plain { fabric }
+            | Backend::BaselineOram { fabric, .. }
+            | Backend::SecMem { fabric, .. } => {
+                for i in 0..fabric.len() {
+                    fabric.channel_mut(i).enable_command_traces();
+                }
+            }
+            Backend::DOram {
+                normals, secure, ..
+            } => {
+                secure.enable_command_traces();
+                for i in 0..normals.len() {
+                    normals.channel_mut(i).enable_command_traces();
+                }
+            }
+        }
+        let timing = self.cfg.timing;
+        let (report, traces) = self.run_inner(true)?;
+        for (idx, trace) in traces.into_iter().enumerate() {
+            if let Err(v) = doram_dram::check_conformance(&trace, &timing) {
+                return Err(SimError::JedecViolation {
+                    sub_channel: idx,
+                    detail: v[0].to_string(),
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Runs to completion (every NS-App finished its trace once).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleCapExceeded`] if the safety cap is hit first.
+    pub fn run(self) -> Result<RunReport, SimError> {
+        self.run_inner(false).map(|(report, _)| report)
+    }
+
+    fn run_inner(
+        mut self,
+        collect_traces: bool,
+    ) -> Result<(RunReport, Vec<Vec<doram_dram::CommandRecord>>), SimError> {
+        let cap = self.cfg.max_mem_cycles;
+        let debug = std::env::var_os("DORAM_DEBUG").is_some();
+        let mut m = 0u64;
+        loop {
+            if m >= cap {
+                return Err(SimError::CycleCapExceeded { cap });
+            }
+            if debug && m.is_multiple_of(50_000) {
+                let retired: Vec<u64> = self.cores.iter().map(|c| c.core.retired()).collect();
+                let oram = match &self.mem.backend {
+                    Backend::BaselineOram { fabric, fsm, oram_ids } => {
+                        let chs: Vec<String> = (0..fabric.len())
+                            .map(|i| match fabric.channel(i) {
+                                crate::channels::Channel::Direct(sc) => {
+                                    format!("ch{i}[{}]", sc.debug_state())
+                                }
+                                _ => String::new(),
+                            })
+                            .collect();
+                        format!(
+                            "oram real={} busy={} outstanding={} | {}",
+                            fsm.stats().real_accesses.get(),
+                            fsm.busy(),
+                            oram_ids.len(),
+                            chs.join(" ")
+                        )
+                    }
+                    Backend::DOram { secure, engine, .. } => format!(
+                        "sd real={} dummy={} eng sent={}/{} resp={}",
+                        secure.oram_stats().real_accesses.get(),
+                        secure.oram_stats().dummy_accesses.get(),
+                        engine.stats().real_sent.get(),
+                        engine.stats().dummies_sent.get(),
+                        engine.stats().responses.get(),
+                    ),
+                    _ => String::new(),
+                };
+                eprintln!("[m={m}] retired={retired:?} {oram}");
+            }
+            let now = MemCycle(m);
+
+            // CPU: 4 cycles per memory cycle.
+            for _ in 0..CPU_CYCLES_PER_MEM_CYCLE {
+                for core_idx in 0..self.cores.len() {
+                    let is_sapp = self.cores[core_idx].is_sapp;
+                    let mut port = CorePort {
+                        mem: &mut self.mem,
+                        core_idx,
+                        is_sapp,
+                        now,
+                        sapp_write_ok: false,
+                    };
+                    self.cores[core_idx].core.step(&mut port);
+                }
+            }
+
+            // Memory side.
+            tick_memory(&mut self.mem, now);
+
+            // Deliver read completions to cores.
+            for (core_idx, id) in std::mem::take(&mut self.mem.ready_reads) {
+                self.cores[core_idx].core.complete_read(id);
+            }
+
+            // Finish / restart bookkeeping.
+            let mut all_ns_done = true;
+            for (core_idx, slot) in self.cores.iter_mut().enumerate() {
+                if slot.core.finished() {
+                    if slot.first_finish_cpu.is_none() {
+                        slot.first_finish_cpu = Some((m + 1) * CPU_CYCLES_PER_MEM_CYCLE);
+                    }
+                    // Restart to keep pressure constant.
+                    slot.restarts += 1;
+                    let accesses = if slot.is_sapp {
+                        self.cfg.s_accesses
+                    } else {
+                        self.cfg.ns_accesses
+                    };
+                    let bench = if slot.is_sapp {
+                        self.cfg.benchmark
+                    } else {
+                        self.cfg
+                            .ns_benchmark(core_idx - usize::from(self.mem.sapp_present))
+                    };
+                    let stream = trace_stream_id(&self.cfg, core_idx, slot.restarts);
+                    let gen = TraceGenerator::new(bench.spec(), self.cfg.seed, stream);
+                    slot.core =
+                        TraceCore::new(CoreConfig::default(), Box::new(gen.finite(accesses)));
+                }
+                if !slot.is_sapp && slot.first_finish_cpu.is_none() {
+                    all_ns_done = false;
+                }
+            }
+            if all_ns_done {
+                break;
+            }
+            m += 1;
+        }
+        let traces = if collect_traces {
+            match &mut self.mem.backend {
+                Backend::Plain { fabric }
+                | Backend::BaselineOram { fabric, .. }
+                | Backend::SecMem { fabric, .. } => {
+                    let mut all = Vec::new();
+                    for i in 0..fabric.len() {
+                        all.extend(fabric.channel_mut(i).take_command_traces());
+                    }
+                    all
+                }
+                Backend::DOram {
+                    normals, secure, ..
+                } => {
+                    let mut all = secure.take_command_traces();
+                    for i in 0..normals.len() {
+                        all.extend(normals.channel_mut(i).take_command_traces());
+                    }
+                    all
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        Ok((self.report(m + 1), traces))
+    }
+
+    fn report(self, total_mem_cycles: u64) -> RunReport {
+        let ns_exec: Vec<u64> = self
+            .cores
+            .iter()
+            .filter(|c| !c.is_sapp)
+            .map(|c| c.first_finish_cpu.expect("run ended with all NS done"))
+            .collect();
+        let s_exec = self
+            .cores
+            .iter()
+            .find(|c| c.is_sapp)
+            .and_then(|c| c.first_finish_cpu);
+
+        let energy_params = doram_dram::EnergyParams::ddr3_1600();
+        let (channel_utilization, channel_row_hit, oram, secure_link_bytes, channel_energy) =
+            match &self.mem.backend {
+                Backend::Plain { fabric } => (
+                    (0..fabric.len()).map(|i| fabric.channel(i).bus_utilization()).collect(),
+                    (0..fabric.len()).map(|i| fabric.channel(i).row_hit_rate()).collect(),
+                    None,
+                    None,
+                    (0..fabric.len()).map(|i| fabric.channel(i).energy(&energy_params)).collect(),
+                ),
+                Backend::BaselineOram { fabric, fsm, .. } => (
+                    (0..fabric.len()).map(|i| fabric.channel(i).bus_utilization()).collect(),
+                    (0..fabric.len()).map(|i| fabric.channel(i).row_hit_rate()).collect(),
+                    Some(summarize(fsm.stats())),
+                    None,
+                    (0..fabric.len()).map(|i| fabric.channel(i).energy(&energy_params)).collect(),
+                ),
+                Backend::SecMem { fabric, .. } => (
+                    (0..fabric.len()).map(|i| fabric.channel(i).bus_utilization()).collect(),
+                    (0..fabric.len()).map(|i| fabric.channel(i).row_hit_rate()).collect(),
+                    None,
+                    None,
+                    (0..fabric.len()).map(|i| fabric.channel(i).energy(&energy_params)).collect(),
+                ),
+                Backend::DOram {
+                    normals, secure, ..
+                } => {
+                    let n_subs = secure.sub_channel_count();
+                    let sec_util = (0..n_subs)
+                        .map(|i| secure.sub_channel(i).stats().bus_utilization())
+                        .sum::<f64>()
+                        / n_subs as f64;
+                    let sec_hit = (0..n_subs)
+                        .map(|i| secure.sub_channel(i).stats().row_hit_rate())
+                        .sum::<f64>()
+                        / n_subs as f64;
+                    let mut util = vec![sec_util];
+                    let mut hit = vec![sec_hit];
+                    let mut energy = vec![secure.energy(&energy_params)];
+                    for i in 0..normals.len() {
+                        util.push(normals.channel(i).bus_utilization());
+                        hit.push(normals.channel(i).row_hit_rate());
+                        energy.push(normals.channel(i).energy(&energy_params));
+                    }
+                    (
+                        util,
+                        hit,
+                        Some(summarize(secure.oram_stats())),
+                        Some(secure.link_bytes()),
+                        energy,
+                    )
+                }
+            };
+
+        let per_core_mlp = self
+            .cores
+            .iter()
+            .map(|c| c.core.stats().mean_mlp())
+            .collect();
+        RunReport {
+            scheme: self.cfg.scheme,
+            benchmark: self.cfg.benchmark,
+            ns_exec_cpu_cycles: ns_exec,
+            s_exec_cpu_cycles: s_exec,
+            ns_read_latency: self.mem.ns_read_latency,
+            ns_write_latency: self.mem.ns_write_latency,
+            per_app_read_latency: self.mem.per_app_read_latency,
+            ns_read_histogram: self.mem.ns_read_histogram,
+            channel_utilization,
+            channel_row_hit,
+            oram,
+            secure_link_bytes,
+            channel_energy,
+            per_core_mlp,
+            total_mem_cycles,
+        }
+    }
+}
+
+fn summarize(s: &crate::onchip_oram::OramStats) -> OramSummary {
+    OramSummary {
+        real_accesses: s.real_accesses.get(),
+        dummy_accesses: s.dummy_accesses.get(),
+        access_latency: s.access_latency.mean(),
+        read_phase_latency: s.read_phase_latency.mean(),
+    }
+}
+
+/// Stream id: distinct per (segment, core, restart).
+fn trace_stream_id(cfg: &SystemConfig, core_idx: usize, restart: u64) -> u64 {
+    cfg.trace_stream * 1_000_000 + core_idx as u64 * 1_000 + restart
+}
+
+/// Disjoint-field view of [`MemoryState`] used while the backend is
+/// mutably borrowed.
+struct Recorder<'a> {
+    owners: &'a mut HashMap<RequestId, usize>,
+    ready_reads: &'a mut Vec<(usize, RequestId)>,
+    ns_read_latency: &'a mut RunningMean,
+    ns_write_latency: &'a mut RunningMean,
+    per_app_read_latency: &'a mut [RunningMean],
+    ns_read_histogram: &'a mut Histogram,
+}
+
+impl Recorder<'_> {
+    /// Records an NS completion (latency stats + core wake-up).
+    fn record(&mut self, c: &Completion) {
+        let lat = (c.finished.0 - c.request.arrival.0) as f64;
+        match c.request.op {
+            MemOp::Read => {
+                self.ns_read_latency.record(lat);
+                self.ns_read_histogram.record(lat as u64);
+                if let Some(m) = self.per_app_read_latency.get_mut(c.request.app.index()) {
+                    m.record(lat);
+                }
+                self.wake(c.request.id);
+            }
+            MemOp::Write => self.ns_write_latency.record(lat),
+        }
+    }
+
+    /// Wakes the core blocked on read `id`, if any.
+    fn wake(&mut self, id: RequestId) {
+        if let Some(core) = self.owners.remove(&id) {
+            self.ready_reads.push((core, id));
+        }
+    }
+}
+
+/// One memory-cycle step of the backend.
+fn tick_memory(mem: &mut MemoryState, now: MemCycle) {
+    let MemoryState {
+        backend,
+        idgen,
+        owners,
+        ready_reads,
+        ns_read_latency,
+        ns_write_latency,
+        per_app_read_latency,
+        ns_read_histogram,
+        ..
+    } = mem;
+    let mut rec = Recorder {
+        owners,
+        ready_reads,
+        ns_read_latency,
+        ns_write_latency,
+        per_app_read_latency,
+        ns_read_histogram,
+    };
+    let mut completions: Vec<Completion> = Vec::new();
+    match backend {
+        Backend::Plain { fabric } => {
+            fabric.tick(now, &mut completions);
+            for c in completions {
+                rec.record(&c);
+            }
+        }
+        Backend::BaselineOram {
+            fabric,
+            fsm,
+            oram_ids,
+        } => {
+            // Drive the ORAM controller.
+            let mut events = Vec::new();
+            {
+                let mut sink = FabricSink {
+                    fabric,
+                    idgen,
+                    app: AppId(0),
+                    issued: oram_ids,
+                };
+                fsm.tick(now, &mut sink, &mut events);
+            }
+            for e in events {
+                if let FsmEvent::ReadPhaseDone(OramJob::Real { id: Some(id), .. }) = e {
+                    rec.wake(id);
+                }
+            }
+            fabric.tick(now, &mut completions);
+            for c in completions {
+                if oram_ids.remove(&c.request.id) {
+                    fsm.on_block_complete(c.request.id);
+                } else {
+                    rec.record(&c);
+                }
+            }
+        }
+        Backend::SecMem { fabric, frontend } => {
+            fabric.tick(now, &mut completions);
+            for c in completions {
+                if frontend.owns(c.request.id) {
+                    frontend.on_completion(c.request.id, c.finished);
+                } else {
+                    rec.record(&c);
+                }
+            }
+            for id in frontend.poll_ready(now) {
+                rec.wake(id);
+            }
+        }
+        Backend::DOram {
+            normals,
+            secure,
+            engine,
+            split_fwd,
+            pending_split,
+            pending_deliver,
+        } => {
+            // CPU engine → secure link.
+            if secure.can_send_secure() {
+                if let Some(job) = engine.poll_send(now) {
+                    secure.send_secure(job);
+                }
+            }
+
+            // Secure channel.
+            let mut ns_done = Vec::new();
+            let mut responses = Vec::new();
+            let mut sreads = Vec::new();
+            let mut swrites = Vec::new();
+            secure.tick(now, &mut ns_done, &mut responses, &mut sreads, &mut swrites);
+            for job in responses {
+                if let Some(core_read) = engine.on_response(job, now) {
+                    rec.wake(core_read);
+                }
+            }
+            for f in sreads {
+                pending_split.push_back((f, MemOp::Read));
+            }
+            for f in swrites {
+                pending_split.push_back((f, MemOp::Write));
+            }
+
+            // Forward split operations onto normal channels.
+            while let Some(&(f, op)) = pending_split.front() {
+                let id = idgen.next_id();
+                let req = MemRequest {
+                    id,
+                    app: AppId(0),
+                    op,
+                    addr: SPLIT_REGION_BASE + f.addr,
+                    class: RequestClass::Oram,
+                    arrival: now,
+                };
+                match normals.channel_mut(f.channel - 1).try_enqueue(req, now) {
+                    Ok(()) => {
+                        if op == MemOp::Read {
+                            split_fwd.insert(id, f);
+                        }
+                        pending_split.pop_front();
+                    }
+                    Err(_) => break,
+                }
+            }
+
+            // Normal channels.
+            normals.tick(now, &mut completions);
+            for c in completions.drain(..) {
+                if c.request.class == RequestClass::Oram {
+                    if let Some(f) = split_fwd.remove(&c.request.id) {
+                        pending_deliver.push_back(f);
+                    }
+                    // Split writes complete silently.
+                } else {
+                    rec.record(&c);
+                }
+            }
+
+            // Return fetched split blocks to the SD.
+            while let Some(&f) = pending_deliver.front() {
+                match secure.try_deliver_split_read(f) {
+                    Ok(()) => {
+                        pending_deliver.pop_front();
+                    }
+                    Err(_) => break,
+                }
+            }
+
+            for c in ns_done {
+                rec.record(&c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doram_trace::Benchmark;
+
+    fn quick(scheme: Scheme) -> RunReport {
+        let cfg = SystemConfig::builder(Benchmark::Libq)
+            .scheme(scheme)
+            .ns_accesses(400)
+            .tree_l_max(12)
+            .max_mem_cycles(20_000_000)
+            .build()
+            .unwrap();
+        Simulation::new(cfg).unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn solo_runs_to_completion() {
+        let r = quick(Scheme::SoloNs);
+        assert_eq!(r.ns_exec_cpu_cycles.len(), 1);
+        assert!(r.ns_exec_cpu_cycles[0] > 0);
+        assert!(r.ns_read_latency.count() > 0);
+    }
+
+    #[test]
+    fn corun_is_slower_than_solo() {
+        let solo = quick(Scheme::SoloNs);
+        let corun = quick(Scheme::Ns7on4);
+        assert_eq!(corun.ns_exec_cpu_cycles.len(), 7);
+        assert!(
+            corun.ns_exec_mean() > solo.ns_exec_mean(),
+            "7 co-runners must contend: solo {} vs corun {}",
+            solo.ns_exec_mean(),
+            corun.ns_exec_mean()
+        );
+    }
+
+    #[test]
+    fn three_channels_slower_than_four() {
+        let four = quick(Scheme::Ns7on4);
+        let three = quick(Scheme::Ns7on3);
+        assert!(three.ns_exec_mean() > four.ns_exec_mean());
+        // Channel 0 idles in the 3-channel partition.
+        assert!(three.channel_utilization[0] < 0.01);
+    }
+
+    #[test]
+    fn baseline_oram_interferes_heavily() {
+        let plain = quick(Scheme::Ns7on4);
+        let oram = quick(Scheme::Baseline);
+        assert!(
+            oram.ns_exec_mean() > plain.ns_exec_mean() * 1.1,
+            "Path ORAM co-run must hurt NS-Apps: {} vs {}",
+            oram.ns_exec_mean(),
+            plain.ns_exec_mean()
+        );
+        let s = oram.oram.expect("ORAM stats present");
+        assert!(s.real_accesses > 0);
+        assert!(s.access_latency > 0.0);
+    }
+
+    #[test]
+    fn doram_beats_baseline() {
+        // Delegation pays off at realistic tree depth (the paper's L = 23),
+        // where the Baseline's on-chip ORAM hammers all four channels; a
+        // shallow tree underplays the interference delegation removes.
+        let run = |scheme| {
+            let cfg = SystemConfig::builder(Benchmark::Mummer)
+                .scheme(scheme)
+                .ns_accesses(800)
+                .max_mem_cycles(50_000_000)
+                .build()
+                .unwrap();
+            Simulation::new(cfg).unwrap().run().unwrap()
+        };
+        let base = run(Scheme::Baseline);
+        let doram = run(Scheme::DOram { k: 0, c: 7 });
+        assert!(
+            doram.ns_exec_mean() < base.ns_exec_mean(),
+            "delegation must relieve NS-Apps: D-ORAM {} vs Baseline {}",
+            doram.ns_exec_mean(),
+            base.ns_exec_mean()
+        );
+        assert!(doram.secure_link_bytes.unwrap().0 > 0);
+        assert!(doram.oram.unwrap().dummy_accesses > 0, "pacing dummies ran");
+    }
+
+    #[test]
+    fn secmem_runs() {
+        let r = quick(Scheme::SecureMemory);
+        assert_eq!(r.ns_exec_cpu_cycles.len(), 7);
+        assert!(r.oram.is_none());
+    }
+
+    #[test]
+    fn doram_split_runs() {
+        let r = quick(Scheme::DOram { k: 1, c: 7 });
+        assert_eq!(r.ns_exec_cpu_cycles.len(), 7);
+        assert!(r.oram.unwrap().real_accesses > 0);
+    }
+
+    #[test]
+    fn doram_sharing_c0_keeps_ns_off_secure_channel() {
+        let r = quick(Scheme::DOram { k: 0, c: 0 });
+        // All NS data on channels 1-3; the secure channel only serves the
+        // S-App (so its NS utilization share is ORAM-only).
+        assert_eq!(r.ns_exec_cpu_cycles.len(), 7);
+    }
+
+    #[test]
+    fn partitioned_sapp_keeps_normal_channels_clean() {
+        let cfg = SystemConfig::builder(Benchmark::Libq)
+            .scheme(Scheme::Partition1S)
+            .ns_accesses(400)
+            .tree_l_max(12)
+            .max_mem_cycles(50_000_000)
+            .build()
+            .unwrap();
+        let r = Simulation::new(cfg).unwrap().run().unwrap();
+        assert_eq!(r.ns_exec_cpu_cycles.len(), 7);
+        let o = r.oram.expect("on-chip ORAM ran");
+        assert!(o.real_accesses > 0);
+        // All ORAM traffic is on channel #0; it must be the busiest, and
+        // the NS channels carry only NS traffic.
+        assert!(
+            r.channel_utilization[0] > r.channel_utilization[1],
+            "utils {:?}",
+            r.channel_utilization
+        );
+    }
+
+    #[test]
+    fn heterogeneous_mix_runs_distinct_benchmarks() {
+        let mix = vec![
+            Benchmark::Libq,
+            Benchmark::Mummer,
+            Benchmark::Black,
+            Benchmark::Face,
+            Benchmark::Tigr,
+            Benchmark::Comm1,
+            Benchmark::Stream,
+        ];
+        let cfg = SystemConfig::builder(Benchmark::Mummer)
+            .scheme(Scheme::Ns7on4)
+            .ns_accesses(300)
+            .ns_benchmarks(mix)
+            .build()
+            .unwrap();
+        let r = Simulation::new(cfg).unwrap().run().unwrap();
+        assert_eq!(r.ns_exec_cpu_cycles.len(), 7);
+        // Different MPKIs must produce visibly different execution times.
+        assert!(r.ns_exec_worst() > 2 * r.ns_exec_best(), "{:?}", r.ns_exec_cpu_cycles);
+    }
+
+    #[test]
+    fn mix_length_is_validated() {
+        let bad = SystemConfig::builder(Benchmark::Black)
+            .scheme(Scheme::Ns7on4)
+            .ns_benchmarks(vec![Benchmark::Libq; 3])
+            .build();
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn cycle_cap_reports_error() {
+        let cfg = SystemConfig::builder(Benchmark::Libq)
+            .scheme(Scheme::SoloNs)
+            .ns_accesses(400)
+            .max_mem_cycles(10)
+            .build()
+            .unwrap();
+        let err = Simulation::new(cfg).unwrap().run().unwrap_err();
+        assert_eq!(err, SimError::CycleCapExceeded { cap: 10 });
+        assert!(err.to_string().contains("10"));
+    }
+}

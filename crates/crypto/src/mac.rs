@@ -1,0 +1,179 @@
+//! AES-CMAC (RFC 4493) message authentication.
+//!
+//! The paper requires packets to carry authentication and integrity-check
+//! bits so an attacker on the serial link can neither inject nor replay
+//! packets (§III-B item 4). We implement the standard CMAC construction and
+//! validate it against the RFC 4493 test vectors.
+
+use crate::aes::Aes128;
+
+/// Tag length carried on each BOB packet, in bytes. A truncated 8-byte CMAC
+/// matches the modest check-bit budget the paper describes.
+pub const TAG_BYTES: usize = 8;
+
+/// AES-CMAC keyed authenticator.
+///
+/// # Examples
+///
+/// ```
+/// use doram_crypto::mac::Cmac;
+/// let mac = Cmac::new([0x2B; 16]);
+/// let tag = mac.tag(b"hello");
+/// assert!(mac.verify(b"hello", &tag));
+/// assert!(!mac.verify(b"hellp", &tag));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cmac {
+    cipher: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
+}
+
+/// Doubles a value in GF(2^128) with the CMAC polynomial (x^128+x^7+x^2+x+1).
+fn dbl(block: [u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in (0..16).rev() {
+        let b = block[i];
+        out[i] = (b << 1) | carry;
+        carry = b >> 7;
+    }
+    if carry != 0 {
+        out[15] ^= 0x87;
+    }
+    out
+}
+
+impl Cmac {
+    /// Creates an authenticator and derives the two CMAC subkeys.
+    pub fn new(key: [u8; 16]) -> Cmac {
+        let cipher = Aes128::new(key);
+        let l = cipher.encrypt_block([0u8; 16]);
+        let k1 = dbl(l);
+        let k2 = dbl(k1);
+        Cmac { cipher, k1, k2 }
+    }
+
+    /// Computes the full 16-byte CMAC of `message`.
+    pub fn full_tag(&self, message: &[u8]) -> [u8; 16] {
+        let n_blocks = message.len().div_ceil(16).max(1);
+        let complete = !message.is_empty() && message.len().is_multiple_of(16);
+
+        fn xor_into(dst: &mut [u8; 16], src: &[u8]) {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d ^= s;
+            }
+        }
+
+        let mut x = [0u8; 16];
+        for blk in 0..n_blocks - 1 {
+            xor_into(&mut x, &message[blk * 16..blk * 16 + 16]);
+            x = self.cipher.encrypt_block(x);
+        }
+
+        let mut last = [0u8; 16];
+        let tail = &message[(n_blocks - 1) * 16..];
+        if complete {
+            last.copy_from_slice(tail);
+            xor_into(&mut last, &self.k1);
+        } else {
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            xor_into(&mut last, &self.k2);
+        }
+        xor_into(&mut x, &last);
+        self.cipher.encrypt_block(x)
+    }
+
+    /// Computes the truncated [`TAG_BYTES`]-byte tag used on packets.
+    pub fn tag(&self, message: &[u8]) -> [u8; TAG_BYTES] {
+        let full = self.full_tag(message);
+        let mut tag = [0u8; TAG_BYTES];
+        tag.copy_from_slice(&full[..TAG_BYTES]);
+        tag
+    }
+
+    /// Verifies a truncated tag in constant-ish time.
+    pub fn verify(&self, message: &[u8], tag: &[u8; TAG_BYTES]) -> bool {
+        let expect = self.tag(message);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        s.as_bytes()
+            .chunks(2)
+            .map(|c| u8::from_str_radix(std::str::from_utf8(c).unwrap(), 16).unwrap())
+            .collect()
+    }
+
+    fn rfc_key() -> [u8; 16] {
+        let mut k = [0u8; 16];
+        k.copy_from_slice(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        k
+    }
+
+    #[test]
+    fn rfc4493_empty_message() {
+        let mac = Cmac::new(rfc_key());
+        assert_eq!(
+            mac.full_tag(b"").to_vec(),
+            hex("bb1d6929e95937287fa37d129b756746")
+        );
+    }
+
+    #[test]
+    fn rfc4493_one_block() {
+        let mac = Cmac::new(rfc_key());
+        let msg = hex("6bc1bee22e409f96e93d7e117393172a");
+        assert_eq!(
+            mac.full_tag(&msg).to_vec(),
+            hex("070a16b46b4d4144f79bdd9dd04a287c")
+        );
+    }
+
+    #[test]
+    fn rfc4493_40_bytes() {
+        let mac = Cmac::new(rfc_key());
+        let msg = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411"
+        ));
+        assert_eq!(
+            mac.full_tag(&msg).to_vec(),
+            hex("dfa66747de9ae63030ca32611497c827")
+        );
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let mac = Cmac::new([1; 16]);
+        let tag = mac.tag(&[0u8; 72]);
+        let mut forged = [0u8; 72];
+        forged[3] = 1;
+        assert!(!mac.verify(&forged, &tag));
+        assert!(mac.verify(&[0u8; 72], &tag));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_tags() {
+        let a = Cmac::new([1; 16]);
+        let b = Cmac::new([2; 16]);
+        assert_ne!(a.tag(b"msg"), b.tag(b"msg"));
+    }
+
+    #[test]
+    fn truncated_tag_is_prefix() {
+        let mac = Cmac::new([1; 16]);
+        assert_eq!(mac.tag(b"abc"), mac.full_tag(b"abc")[..TAG_BYTES]);
+    }
+}

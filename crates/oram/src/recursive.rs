@@ -1,0 +1,275 @@
+//! Recursive position map (Stefanov et al. §recursion; Ren et al. \[32\],
+//! Freecursive ORAM \[13\]).
+//!
+//! D-ORAM's secure delegator holds the full position map in its SRAM/DRAM
+//! metadata — fine for the paper. Real controllers with tight trusted
+//! state recurse instead: the position map is itself packed into blocks
+//! stored in a (smaller) Path ORAM, whose position map recurses again,
+//! until the top map fits on chip. This module implements that hierarchy
+//! over the functional [`PathOram`], with every level driven through
+//! [`PathOram::access_at`] so there is no hidden trusted state.
+//!
+//! Each access touches one path per recursion level — the classic
+//! bandwidth/state trade-off (`levels × path` traffic for `O(top)` trusted
+//! bytes).
+
+use crate::protocol::PathOram;
+use doram_sim::rng::Xoshiro256;
+
+/// Entries (leaf labels) packed into one position-map block.
+const ENTRIES_PER_BLOCK: u64 = 8;
+
+/// A position-map level: a Path ORAM whose blocks hold
+/// [`ENTRIES_PER_BLOCK`] leaf labels of the level below.
+#[derive(Debug, Clone)]
+struct MapLevel {
+    oram: PathOram<Vec<u64>>,
+    /// Leaf-label space of the level this one indexes (i.e. the number of
+    /// leaves of the *data* ORAM for level 0).
+    child_leaves: u64,
+}
+
+/// A recursive position map for a data ORAM with `2^l_max` leaves.
+///
+/// # Examples
+///
+/// ```
+/// use doram_oram::recursive::RecursivePosMap;
+/// let mut pm = RecursivePosMap::new(10, 64, 7);
+/// let (leaf, fresh) = pm.lookup_and_remap(42);
+/// assert!(leaf < 1 << 10 && fresh < 1 << 10);
+/// // The next lookup returns the remapped leaf.
+/// assert_eq!(pm.lookup_and_remap(42).0, fresh);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecursivePosMap {
+    levels: Vec<MapLevel>,
+    /// The on-chip top table: leaf labels for the deepest level's blocks.
+    top: Vec<u64>,
+    rng: Xoshiro256,
+}
+
+impl RecursivePosMap {
+    /// Builds a hierarchy for a data ORAM with `2^data_l_max` leaves,
+    /// recursing until at most `top_entries` labels remain on chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top_entries == 0`.
+    pub fn new(data_l_max: u32, top_entries: u64, seed: u64) -> RecursivePosMap {
+        assert!(top_entries > 0, "top table must hold something");
+        let mut rng = Xoshiro256::stream(seed, 0x5EC0);
+        let mut levels = Vec::new();
+        let mut child_leaves = 1u64 << data_l_max;
+        // Number of posmap entries the current level must store.
+        let mut entries = child_leaves; // one label per data block id slot
+        while entries > top_entries {
+            let blocks = entries.div_ceil(ENTRIES_PER_BLOCK);
+            // Size this level's ORAM: enough leaves for ~50% utilization.
+            let l_max = (64 - (blocks * 2).leading_zeros()).clamp(2, 24);
+            levels.push(MapLevel {
+                oram: PathOram::new(l_max, 4, seed ^ (levels.len() as u64 + 1)),
+                child_leaves,
+            });
+            child_leaves = 1 << l_max;
+            entries = blocks;
+        }
+        let top = (0..entries).map(|_| rng.gen_below(child_leaves)).collect();
+        RecursivePosMap { levels, top, rng }
+    }
+
+    /// Recursion depth (number of ORAM-backed levels).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// On-chip state in entries (the trusted footprint).
+    pub fn top_entries(&self) -> usize {
+        self.top.len()
+    }
+
+    /// Total ORAM path accesses performed so far across all levels.
+    pub fn map_accesses(&self) -> u64 {
+        self.levels.iter().map(|l| l.oram.accesses()).sum()
+    }
+
+    /// Returns `(current_leaf, new_leaf)` for data block `block`: the leaf
+    /// its path must be read from, and the fresh one it must move to. The
+    /// hierarchy is updated along the way (each level's entry for the
+    /// child is remapped and rewritten).
+    pub fn lookup_and_remap(&mut self, block: u64) -> (u64, u64) {
+        // Chain of block ids, data-level first: level i stores the label
+        // of chain[i]; chain[i+1] = chain[i] / E.
+        let mut chain = vec![block];
+        for _ in 0..self.levels.len() {
+            chain.push(chain.last().expect("non-empty") / ENTRIES_PER_BLOCK);
+        }
+
+        // Descend from the top: at each ORAM level we know the block to
+        // fetch and (from the parent) its current leaf; we remap it as we
+        // go and push the fresh label back into the parent's entry.
+        // Process levels deepest-first.
+        let mut child_cur;
+        let mut child_new;
+        {
+            // Top table indexes the deepest level's blocks.
+            let deepest_block = *chain.last().expect("non-empty");
+            let idx = (deepest_block as usize) % self.top.len();
+            let leaves = self
+                .levels
+                .last()
+                .map(|l| 1u64 << l.oram.geometry().l_max)
+                .unwrap_or(1);
+            child_cur = self.top[idx];
+            child_new = self.rng.gen_below(leaves.max(1));
+            self.top[idx] = child_new;
+        }
+
+        for li in (0..self.levels.len()).rev() {
+            let map_block = chain[li + 1];
+            let entry = (chain[li] % ENTRIES_PER_BLOCK) as usize;
+            let child_leaves = self.levels[li].child_leaves;
+            // Fetch the posmap block through its ORAM at the leaf the
+            // parent told us; give it the fresh leaf the parent recorded.
+            let mut data = self.levels[li]
+                .oram
+                .access_at(map_block, child_cur, child_new, None)
+                .unwrap_or_else(|| vec![u64::MAX; ENTRIES_PER_BLOCK as usize]);
+            // Extract + remap the child's label.
+            let fresh = self.rng.gen_below(child_leaves);
+            let cur = if data[entry] == u64::MAX {
+                // First touch: the child was never mapped; draw its
+                // "current" label now (uniform, as lazy init).
+                self.rng.gen_below(child_leaves)
+            } else {
+                data[entry]
+            };
+            data[entry] = fresh;
+            // Write the updated block back (same path state: it is in the
+            // stash at `child_new` now; a write via access_at with cur ==
+            // new keeps the protocol exact).
+            self.levels[li]
+                .oram
+                .access_at(map_block, child_new, child_new, Some(data));
+            child_cur = cur;
+            child_new = fresh;
+        }
+        (child_cur, child_new)
+    }
+
+    /// Checks every level's ORAM invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, l) in self.levels.iter().enumerate() {
+            l.oram
+                .check_invariants()
+                .map_err(|e| format!("level {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// A data ORAM paired with a recursive position map — the full recursion
+/// stack as one store.
+#[derive(Debug, Clone)]
+pub struct RecursiveOram<V> {
+    data: PathOram<V>,
+    posmap: RecursivePosMap,
+}
+
+impl<V: Clone> RecursiveOram<V> {
+    /// Creates a recursive ORAM with `2^l_max` data leaves and at most
+    /// `top_entries` trusted labels.
+    pub fn new(l_max: u32, top_entries: u64, seed: u64) -> RecursiveOram<V> {
+        RecursiveOram {
+            data: PathOram::new(l_max, 4, seed),
+            posmap: RecursivePosMap::new(l_max, top_entries, seed ^ 0xABCD),
+        }
+    }
+
+    /// Reads `block`.
+    pub fn read(&mut self, block: u64) -> Option<V> {
+        let (cur, new) = self.posmap.lookup_and_remap(block);
+        self.data.access_at(block, cur, new, None)
+    }
+
+    /// Writes `block`, returning the previous value.
+    pub fn write(&mut self, block: u64, value: V) -> Option<V> {
+        let (cur, new) = self.posmap.lookup_and_remap(block);
+        self.data.access_at(block, cur, new, Some(value))
+    }
+
+    /// The position-map hierarchy.
+    pub fn posmap(&self) -> &RecursivePosMap {
+        &self.posmap
+    }
+
+    /// Checks data and posmap invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.data.check_invariants()?;
+        self.posmap.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_shrinks_to_the_top_table() {
+        let pm = RecursivePosMap::new(16, 64, 1);
+        assert!(pm.depth() >= 2, "2^16 entries need at least two levels");
+        assert!(pm.top_entries() <= 64 * 8);
+    }
+
+    #[test]
+    fn lookup_chain_is_consistent() {
+        let mut pm = RecursivePosMap::new(10, 16, 2);
+        // The fresh leaf returned now must be the current leaf next time.
+        for block in [0u64, 5, 99, 511] {
+            let (_, fresh) = pm.lookup_and_remap(block);
+            let (cur, _) = pm.lookup_and_remap(block);
+            assert_eq!(cur, fresh, "block {block}");
+        }
+        pm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recursive_oram_reads_its_writes() {
+        let mut oram: RecursiveOram<u64> = RecursiveOram::new(8, 8, 3);
+        for b in 0..40u64 {
+            oram.write(b, b * 3);
+        }
+        for b in 0..40u64 {
+            assert_eq!(oram.read(b), Some(b * 3), "block {b}");
+        }
+        oram.check_invariants().unwrap();
+        assert!(oram.posmap().map_accesses() > 0);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_none() {
+        let mut oram: RecursiveOram<u8> = RecursiveOram::new(8, 8, 4);
+        assert_eq!(oram.read(123), None);
+    }
+
+    #[test]
+    fn distinct_blocks_do_not_collide() {
+        // Blocks sharing a posmap block (same /8 group) must stay
+        // independent.
+        let mut oram: RecursiveOram<u64> = RecursiveOram::new(8, 8, 5);
+        for b in 0..8u64 {
+            oram.write(b, 100 + b);
+        }
+        for b in (0..8u64).rev() {
+            assert_eq!(oram.read(b), Some(100 + b));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The Path ORAM stash.
+//!
+//! Holds blocks that could not be written back to the tree yet. Bounded in
+//! expectation (Stefanov et al. prove O(log N)·ω(1) with Z = 4); the
+//! protocol tests check the empirical bound.
+
+use std::collections::HashMap;
+
+/// A stash of blocks keyed by logical id, each tagged with its leaf.
+#[derive(Debug, Clone)]
+pub struct Stash<V> {
+    blocks: HashMap<u64, (u64, V)>,
+    peak: usize,
+}
+
+impl<V> Default for Stash<V> {
+    fn default() -> Stash<V> {
+        Stash::new()
+    }
+}
+
+impl<V> Stash<V> {
+    /// Creates an empty stash.
+    pub fn new() -> Stash<V> {
+        Stash {
+            blocks: HashMap::new(),
+            peak: 0,
+        }
+    }
+
+    /// Inserts or replaces `block` with its `leaf` tag and value.
+    pub fn insert(&mut self, block: u64, leaf: u64, value: V) {
+        self.blocks.insert(block, (leaf, value));
+        self.peak = self.peak.max(self.blocks.len());
+    }
+
+    /// Removes and returns `block`'s `(leaf, value)`.
+    pub fn remove(&mut self, block: u64) -> Option<(u64, V)> {
+        self.blocks.remove(&block)
+    }
+
+    /// Looks at `block` without removing it.
+    pub fn get(&self, block: u64) -> Option<&(u64, V)> {
+        self.blocks.get(&block)
+    }
+
+    /// Mutable access to `block`'s `(leaf, value)`.
+    pub fn get_mut(&mut self, block: u64) -> Option<&mut (u64, V)> {
+        self.blocks.get_mut(&block)
+    }
+
+    /// Whether `block` is present.
+    pub fn contains(&self, block: u64) -> bool {
+        self.blocks.contains_key(&block)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the stash is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Removes up to `max` blocks satisfying `eligible(leaf)`, returning
+    /// `(block, leaf, value)` triples — the write-back selection step.
+    pub fn take_eligible(
+        &mut self,
+        max: usize,
+        mut eligible: impl FnMut(u64) -> bool,
+    ) -> Vec<(u64, u64, V)> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let chosen: Vec<u64> = self
+            .blocks
+            .iter()
+            .filter(|(_, (leaf, _))| eligible(*leaf))
+            .map(|(&b, _)| b)
+            .take(max)
+            .collect();
+        chosen
+            .into_iter()
+            .map(|b| {
+                let (leaf, v) = self.blocks.remove(&b).expect("chosen above");
+                (b, leaf, v)
+            })
+            .collect()
+    }
+
+    /// Iterates over `(block, leaf)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.blocks.iter().map(|(&b, &(leaf, _))| (b, leaf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Stash::new();
+        assert!(s.is_empty());
+        s.insert(1, 10, "a");
+        s.insert(2, 20, "b");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(1));
+        assert_eq!(s.get(1), Some(&(10, "a")));
+        assert_eq!(s.remove(1), Some((10, "a")));
+        assert!(!s.contains(1));
+        assert_eq!(s.remove(1), None);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut s = Stash::new();
+        s.insert(1, 10, 100);
+        s.insert(1, 11, 101);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(1), Some(&(11, 101)));
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut s = Stash::new();
+        for i in 0..5 {
+            s.insert(i, i, ());
+        }
+        for i in 0..5 {
+            s.remove(i);
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.peak(), 5);
+    }
+
+    #[test]
+    fn take_eligible_respects_filter_and_cap() {
+        let mut s = Stash::new();
+        for i in 0..10u64 {
+            s.insert(i, i % 2, i);
+        }
+        let taken = s.take_eligible(3, |leaf| leaf == 0);
+        assert_eq!(taken.len(), 3);
+        assert!(taken.iter().all(|&(_, leaf, _)| leaf == 0));
+        assert_eq!(s.len(), 7);
+        // Nothing eligible → nothing taken.
+        assert!(s.take_eligible(5, |leaf| leaf == 9).is_empty());
+        assert!(s.take_eligible(0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn get_mut_updates_value() {
+        let mut s = Stash::new();
+        s.insert(7, 1, vec![1u8]);
+        s.get_mut(7).unwrap().1 = vec![2u8];
+        assert_eq!(s.get(7).unwrap().1, vec![2u8]);
+    }
+
+    #[test]
+    fn iter_lists_blocks() {
+        let mut s = Stash::new();
+        s.insert(3, 30, ());
+        s.insert(4, 40, ());
+        let mut pairs: Vec<_> = s.iter().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(3, 30), (4, 40)]);
+    }
+}

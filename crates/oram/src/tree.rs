@@ -1,0 +1,200 @@
+//! Tree geometry and path arithmetic.
+//!
+//! Levels are numbered 0 (root) through `l_max` (leaves); the paper's 4 GB
+//! tree has `l_max = 23`, i.e. 24 levels, 2^24 − 1 buckets of Z = 4
+//! 64 B blocks (§II-B1). Buckets use heap indexing: the bucket at level
+//! `l`, position `p` has index `2^l − 1 + p`.
+
+/// Geometry of a Path ORAM tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeGeometry {
+    /// Leaf level (the tree has `l_max + 1` levels).
+    pub l_max: u32,
+    /// Blocks per bucket.
+    pub z: u32,
+}
+
+impl TreeGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l_max` exceeds 40 (address arithmetic headroom) or
+    /// `z == 0`.
+    pub fn new(l_max: u32, z: u32) -> TreeGeometry {
+        assert!(l_max <= 40, "tree too deep for 64-bit addressing");
+        assert!(z > 0, "bucket must hold at least one block");
+        TreeGeometry { l_max, z }
+    }
+
+    /// The paper's 4 GB configuration: L = 23, Z = 4.
+    pub fn paper_default() -> TreeGeometry {
+        TreeGeometry::new(23, 4)
+    }
+
+    /// Number of levels (`l_max + 1`).
+    pub fn levels(&self) -> u32 {
+        self.l_max + 1
+    }
+
+    /// Number of leaves (= number of distinct paths).
+    pub fn num_leaves(&self) -> u64 {
+        1 << self.l_max
+    }
+
+    /// Total number of buckets.
+    pub fn total_buckets(&self) -> u64 {
+        (1 << (self.l_max + 1)) - 1
+    }
+
+    /// Total block capacity (buckets × Z).
+    pub fn total_blocks(&self) -> u64 {
+        self.total_buckets() * self.z as u64
+    }
+
+    /// Tree size in bytes with 64 B blocks.
+    pub fn tree_bytes(&self) -> u64 {
+        self.total_blocks() * 64
+    }
+
+    /// Number of logical blocks the tree protects at the paper's ~50%
+    /// space efficiency (§III-C: "a 4 GB tree needs to be built for 2 GB
+    /// user data").
+    pub fn user_blocks(&self) -> u64 {
+        self.total_blocks() / 2
+    }
+
+    /// Heap index of the bucket at `level` on the path to `leaf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > l_max` or `leaf` is out of range (debug builds).
+    pub fn bucket_on_path(&self, leaf: u64, level: u32) -> u64 {
+        debug_assert!(level <= self.l_max);
+        debug_assert!(leaf < self.num_leaves());
+        let pos = leaf >> (self.l_max - level);
+        (1 << level) - 1 + pos
+    }
+
+    /// Level of the bucket with heap index `bucket`.
+    pub fn level_of(&self, bucket: u64) -> u32 {
+        debug_assert!(bucket < self.total_buckets());
+        63 - (bucket + 1).leading_zeros()
+    }
+
+    /// Position of the bucket within its level.
+    pub fn pos_in_level(&self, bucket: u64) -> u64 {
+        let level = self.level_of(bucket);
+        bucket + 1 - (1 << level)
+    }
+
+    /// Whether the paths to `leaf_a` and `leaf_b` share their bucket at
+    /// `level` — the block-eligibility test used during write-back.
+    pub fn paths_agree(&self, leaf_a: u64, leaf_b: u64, level: u32) -> bool {
+        debug_assert!(level <= self.l_max);
+        (leaf_a >> (self.l_max - level)) == (leaf_b >> (self.l_max - level))
+    }
+
+    /// Iterator over the heap indices of the path to `leaf`, root first.
+    pub fn path(&self, leaf: u64) -> impl Iterator<Item = u64> + '_ {
+        (0..=self.l_max).map(move |l| self.bucket_on_path(leaf, l))
+    }
+
+    /// Blocks a single access touches per phase when the top `cached`
+    /// levels are held in a tree-top cache: `(levels − cached) × Z`.
+    ///
+    /// This is the paper's example arithmetic: for the 24-level tree,
+    /// caching only the root gives 23×4 accessed blocks per phase; caching
+    /// the top 3 levels gives 21×4 (§II-B1).
+    pub fn blocks_per_phase(&self, cached_levels: u32) -> u64 {
+        let uncached = self.levels().saturating_sub(cached_levels) as u64;
+        uncached * self.z as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tree_sizes() {
+        let g = TreeGeometry::paper_default();
+        assert_eq!(g.levels(), 24);
+        assert_eq!(g.num_leaves(), 1 << 23);
+        assert_eq!(g.total_buckets(), (1 << 24) - 1);
+        // 4 GB tree: 2^24−1 buckets × 4 blocks × 64 B ≈ 4 GiB.
+        assert!(g.tree_bytes() > 4_290_000_000 && g.tree_bytes() < 4_300_000_000);
+    }
+
+    #[test]
+    fn paper_blocks_per_phase() {
+        let g = TreeGeometry::paper_default();
+        // §II-B1: root-only cache → 23×4; top-3 cache → 21×4.
+        assert_eq!(g.blocks_per_phase(1), 23 * 4);
+        assert_eq!(g.blocks_per_phase(3), 21 * 4);
+        assert_eq!(g.blocks_per_phase(0), 24 * 4);
+    }
+
+    #[test]
+    fn path_walks_root_to_leaf() {
+        let g = TreeGeometry::new(3, 4);
+        // Leaf 5 = 0b101: positions per level 0,1,2,5 → heap indices
+        // 0, (2−1)+1, (4−1)+2, (8−1)+5.
+        let path: Vec<u64> = g.path(5).collect();
+        assert_eq!(path, vec![0, 2, 5, 12]);
+        assert_eq!(path[0], 0, "root first");
+        assert_eq!(path.len() as u32, g.levels());
+    }
+
+    #[test]
+    fn level_and_pos_round_trip() {
+        let g = TreeGeometry::new(6, 4);
+        for bucket in 0..g.total_buckets() {
+            let l = g.level_of(bucket);
+            let p = g.pos_in_level(bucket);
+            assert_eq!((1 << l) - 1 + p, bucket);
+            assert!(p < (1 << l));
+        }
+    }
+
+    #[test]
+    fn paths_agree_prefix_semantics() {
+        let g = TreeGeometry::new(3, 4);
+        // All paths share the root.
+        assert!(g.paths_agree(0, 7, 0));
+        // Leaves 4 (100) and 5 (101) share levels 0..=2 but not 3.
+        assert!(g.paths_agree(4, 5, 2));
+        assert!(!g.paths_agree(4, 5, 3));
+        // A path agrees with itself everywhere.
+        for l in 0..=3 {
+            assert!(g.paths_agree(6, 6, l));
+        }
+    }
+
+    #[test]
+    fn agree_iff_same_bucket() {
+        let g = TreeGeometry::new(5, 4);
+        for la in [0u64, 13, 31] {
+            for lb in [0u64, 12, 31] {
+                for level in 0..=5 {
+                    assert_eq!(
+                        g.paths_agree(la, lb, level),
+                        g.bucket_on_path(la, level) == g.bucket_on_path(lb, level)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn user_capacity_is_half() {
+        let g = TreeGeometry::paper_default();
+        assert_eq!(g.user_blocks() * 2, g.total_blocks());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_z_panics() {
+        let _ = TreeGeometry::new(4, 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid simulation configuration.
+///
+/// Returned by builders throughout the workspace when parameters are out of
+/// the modeled range (e.g. a tree-split depth larger than the tree, or more
+/// sharing apps than NS-Apps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error carrying a human-readable description.
+    pub fn new(message: impl Into<String>) -> ConfigError {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("k must be <= 3");
+        assert_eq!(e.to_string(), "invalid configuration: k must be <= 3");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

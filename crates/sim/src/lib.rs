@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Simulation kernel shared by every D-ORAM crate.
+//!
+//! This crate deliberately contains no architecture knowledge: it provides the
+//! time base (DRAM command clock vs. CPU clock), deterministic random number
+//! generation, identifier newtypes, bounded queues, and statistics
+//! primitives. All cycle-level models (DRAM, CPU, BOB link, ORAM controller)
+//! are built on top of these.
+//!
+//! # Examples
+//!
+//! ```
+//! use doram_sim::{clock::MemCycle, rng::Xoshiro256, stats::RunningMean};
+//!
+//! let mut rng = Xoshiro256::seed_from(42);
+//! let mut mean = RunningMean::new();
+//! for _ in 0..100 {
+//!     mean.record(rng.gen_range(0..10) as f64);
+//! }
+//! assert!(mean.mean() < 10.0);
+//! let t = MemCycle(12);
+//! assert_eq!(t.to_cpu_cycles().0, 48);
+//! ```
+
+pub mod clock;
+pub mod error;
+pub mod id;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{CpuCycle, MemCycle, CPU_CYCLES_PER_MEM_CYCLE, TCK_PICOS};
+pub use error::ConfigError;
+pub use id::{AppId, ChannelId, CoreId, RequestId, RequestIdGen, SubChannelId};
+pub use queue::BoundedQueue;
+pub use rng::Xoshiro256;
+pub use stats::{Counter, Histogram, RunningMean};

@@ -1,0 +1,202 @@
+//! Bounded FIFO queue with occupancy tracking.
+//!
+//! Memory controllers, BOB link endpoints, and the secure delegator all hold
+//! finite queues whose back-pressure shapes the interference results, so the
+//! queue type records occupancy statistics as elements flow through it.
+
+use std::collections::VecDeque;
+
+/// A FIFO queue with a hard capacity and occupancy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use doram_sim::queue::BoundedQueue;
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert!(q.push(3).is_err()); // full — the value comes back
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    occupancy_sum: u64,
+    samples: u64,
+    peak: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates an empty queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            occupancy_sum: 0,
+            samples: 0,
+            peak: 0,
+        }
+    }
+
+    /// Appends to the tail, or returns the value back if the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the queue is at capacity so the caller can
+    /// retry later (modeling back-pressure).
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(value);
+        }
+        self.items.push_back(value);
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes and returns the head element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Head element without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current number of queued elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether another `push` would fail.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Maximum number of elements the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Iterates over queued elements from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Mutably iterates over queued elements from head to tail.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut()
+    }
+
+    /// Removes and returns the element at `index` (0 = head).
+    ///
+    /// Used by out-of-order schedulers (FR-FCFS picks row hits from the
+    /// middle of the queue).
+    pub fn remove(&mut self, index: usize) -> Option<T> {
+        self.items.remove(index)
+    }
+
+    /// Records the current occupancy into the running statistics. Call once
+    /// per simulated cycle.
+    pub fn sample_occupancy(&mut self) {
+        self.occupancy_sum += self.items.len() as u64;
+        self.samples += 1;
+    }
+
+    /// Mean sampled occupancy, or 0 if never sampled.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.peek(), Some(&1));
+        assert_eq!(q.free(), 1);
+    }
+
+    #[test]
+    fn push_full_returns_value() {
+        let mut q = BoundedQueue::new(1);
+        q.push("a").unwrap();
+        assert_eq!(q.push("b"), Err("b"));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn remove_mid_queue() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.remove(2), Some(2));
+        let rest: Vec<_> = q.iter().copied().collect();
+        assert_eq!(rest, vec![0, 1, 3, 4]);
+        assert_eq!(q.remove(10), None);
+    }
+
+    #[test]
+    fn occupancy_stats() {
+        let mut q = BoundedQueue::new(4);
+        q.sample_occupancy(); // 0
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.sample_occupancy(); // 2
+        assert_eq!(q.mean_occupancy(), 1.0);
+        assert_eq!(q.peak_occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn iter_mut_allows_updates() {
+        let mut q = BoundedQueue::new(3);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        for v in q.iter_mut() {
+            *v *= 10;
+        }
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(20));
+        assert!(q.is_empty());
+    }
+}

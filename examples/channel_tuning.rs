@@ -1,0 +1,68 @@
+//! Channel tuning: use the profiling ratio of §III-D to pick the
+//! secure-channel sharing level `c`, then verify the prediction.
+//!
+//! This is the D-ORAM/c workflow a cloud operator would run: profile a
+//! short segment of the workload (`T25mix / T33`), decide whether the
+//! secure channel is worth using, then deploy with the chosen `c`.
+//!
+//! ```text
+//! cargo run --release --example channel_tuning [benchmark]
+//! ```
+
+use doram::core::profiling::{profile, ProfileScale};
+use doram::core::{Scheme, Simulation, SystemConfig};
+use doram::trace::Benchmark;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|name| Benchmark::ALL.into_iter().find(|b| b.spec().name == name))
+        .unwrap_or(Benchmark::Black);
+
+    // --- Profile a separate trace segment (as Figure 12 does). ----------
+    let p = profile(
+        bench,
+        ProfileScale {
+            accesses: 1_000,
+            seed: 1,
+            stream: 7,
+        },
+    )?;
+    println!(
+        "{bench}: solo latency {:.1} cycles | T33 {:.2} T25 {:.2} T25mix {:.2}",
+        p.solo_latency, p.t33, p.t25, p.t25mix
+    );
+    println!(
+        "ratio r = T25mix/T33 = {:.3} → {}",
+        p.ratio(),
+        if p.prefers_small_c() {
+            "secure channel is congested: keep NS-Apps off it (small c)"
+        } else {
+            "secure channel has headroom: use all four channels (large c)"
+        }
+    );
+    let recommended_c: u32 = if p.prefers_small_c() { 1 } else { 6 };
+
+    // --- Deploy and compare against the two extremes. --------------------
+    let measure = |c: u32| -> Result<f64, Box<dyn Error>> {
+        let cfg = SystemConfig::builder(bench)
+            .scheme(Scheme::DOram { k: 0, c })
+            .ns_accesses(1_500)
+            .build()?;
+        Ok(Simulation::new(cfg)?.run()?.ns_exec_mean())
+    };
+    let at_reco = measure(recommended_c)?;
+    let at_zero = measure(0)?;
+    let at_full = measure(7)?;
+    println!("\nmean NS-App execution time (CPU cycles):");
+    println!("  c=0            : {at_zero:.0}");
+    println!("  c={recommended_c} (profiled) : {at_reco:.0}");
+    println!("  c=7            : {at_full:.0}");
+    let best = at_zero.min(at_full);
+    println!(
+        "\nprofile-guided choice is within {:.1}% of the better extreme",
+        (at_reco / best - 1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! The recursion trade-off: trusted state vs. bandwidth.
+//!
+//! D-ORAM's secure delegator stores the whole position map in its own
+//! memory — simple, but the map for a 4 GB tree is tens of megabytes.
+//! Recursive ORAMs shrink the trusted state to a constant-size top table
+//! at the price of extra path accesses per operation. This example
+//! measures that trade-off with the `doram::oram::recursive` stack.
+//!
+//! ```text
+//! cargo run --release --example recursion_tradeoff
+//! ```
+
+use doram::oram::recursive::RecursiveOram;
+use doram::oram::tree::TreeGeometry;
+use doram::sim::rng::Xoshiro256;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let l_max = 14u32; // 16 K leaves of data ORAM
+    let flat_map_bytes = TreeGeometry::new(l_max, 4).num_leaves() * 8;
+    println!(
+        "data ORAM: 2^{l_max} leaves; a flat position map costs {} KiB of trusted state\n",
+        flat_map_bytes / 1024
+    );
+    println!(
+        "{:>12} {:>8} {:>14} {:>20}",
+        "top entries", "depth", "trusted bytes", "map accesses / op"
+    );
+
+    for top in [16u64, 128, 1024, 8192] {
+        let mut oram: RecursiveOram<u64> = RecursiveOram::new(l_max, top, 9);
+        let mut rng = Xoshiro256::seed_from(1);
+        let ops = 400u64;
+        for i in 0..ops {
+            oram.write(rng.gen_below(4_000), i);
+        }
+        let pm = oram.posmap();
+        println!(
+            "{:>12} {:>8} {:>14} {:>20.1}",
+            top,
+            pm.depth(),
+            pm.top_entries() * 8,
+            pm.map_accesses() as f64 / ops as f64,
+        );
+        oram.check_invariants().map_err(std::io::Error::other)?;
+    }
+
+    println!(
+        "\nEvery map access is itself a full (smaller) path read + write, so the\n\
+         per-operation cost grows with depth while the trusted footprint shrinks\n\
+         — exactly why D-ORAM's 1 mm² delegator, which can afford the flat map\n\
+         next to the DIMMs, keeps the protocol single-level."
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! The paper's motivating scenario, end to end and *functionally*: a
+//! medical-records service outsourced to an untrusted cloud server.
+//!
+//! §II-B1 motivates ORAM with a medical application whose lookups leak the
+//! patient's condition through the memory access pattern. This example
+//! builds that pipeline with the real protocol pieces:
+//!
+//! 1. a toy disease database is stored **through Path ORAM**, so the
+//!    server-visible access pattern is a fresh random path per lookup;
+//! 2. the CPU↔delegator packets are sealed with the OTP + CMAC session of
+//!    `doram-crypto` (what the secure engine and SD would run in hardware);
+//! 3. the same lookups are replayed against a plain array to show the
+//!    address trace an attacker would otherwise see.
+//!
+//! Run with `cargo run --release --example secure_outsourcing`.
+
+use doram::crypto::session::SessionPair;
+use doram::oram::protocol::PathOram;
+use doram::oram::tree::TreeGeometry;
+use std::error::Error;
+
+/// A record stored per condition.
+fn treatment_for(condition: &str) -> String {
+    format!("standard treatment protocol for {condition}")
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let conditions = [
+        "hypertension",
+        "diabetes",
+        "influenza",
+        "asthma",
+        "migraine",
+        "anemia",
+        "arthritis",
+        "insomnia",
+    ];
+
+    // --- 1. Load the database into a small Path ORAM. -------------------
+    let mut oram: PathOram<String> = PathOram::new(10, 4, 2024);
+    for (id, c) in conditions.iter().enumerate() {
+        oram.write(id as u64, treatment_for(c));
+    }
+    println!(
+        "database loaded: {} records in a {}-level Path ORAM tree ({} buckets)",
+        conditions.len(),
+        oram.geometry().levels(),
+        TreeGeometry::new(10, 4).total_buckets(),
+    );
+
+    // --- 2. A patient's (sensitive) lookup sequence. --------------------
+    let visits = [1u64, 1, 1, 4, 1, 1]; // mostly diabetes — the secret
+    println!("\npatient lookups (condition ids): {visits:?}");
+
+    // The CPU-side engine seals each request packet for the delegator.
+    let (mut cpu, mut sd) = SessionPair::negotiate(0xC10D).into_endpoints();
+    for &id in &visits {
+        let mut packet = [0u8; 72];
+        packet[..8].copy_from_slice(&id.to_be_bytes());
+        let sealed = cpu.seal(&packet);
+        // The delegator opens the packet and serves it from the ORAM.
+        let opened = sd.open(&sealed).expect("authentic request");
+        let looked_up = u64::from_be_bytes(opened[..8].try_into()?);
+        let record = oram.read(looked_up).expect("record exists");
+        assert_eq!(record, treatment_for(conditions[looked_up as usize]));
+    }
+    println!("all lookups answered correctly through the ORAM");
+
+    // --- 3. What the server sees. ---------------------------------------
+    // Plain storage: the address trace *is* the secret.
+    let plain_trace: Vec<u64> = visits.iter().map(|&id| 0x1000 + id * 64).collect();
+    println!("\nplain-array address trace (leaks repetition): {plain_trace:x?}");
+
+    // ORAM storage: each access touched one full random path. Show the
+    // stash/occupancy stats instead — the point is that repeated lookups
+    // of record 1 are not correlated on the bus.
+    println!(
+        "Path ORAM view: {} accesses, stash peak {} blocks — every access \
+         read and rewrote one uniformly random tree path",
+        oram.accesses(),
+        oram.stash_peak(),
+    );
+    oram.check_invariants().map_err(std::io::Error::other)?;
+    println!("protocol invariants verified");
+    Ok(())
+}

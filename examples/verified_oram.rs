@@ -1,0 +1,84 @@
+//! Integrity-verified Path ORAM: composing the ORAM protocol with the
+//! Merkle-tree replay defense (§III-B item 4).
+//!
+//! OTP encryption hides *contents* and Path ORAM hides *access patterns*,
+//! but neither stops untrusted memory from answering with a stale block it
+//! recorded earlier. The standard fix keeps a hash-tree root inside the
+//! TCB. This example wires `doram::crypto::MerkleTree` over the blocks an
+//! ORAM stores, then demonstrates a replay being caught.
+//!
+//! ```text
+//! cargo run --release --example verified_oram
+//! ```
+
+use doram::crypto::MerkleTree;
+use doram::oram::protocol::PathOram;
+use std::error::Error;
+
+/// A tiny verified store: every write refreshes the hash tree, every read
+/// is checked before use. The Merkle leaves are indexed by *logical*
+/// block id — physical movement inside the ORAM tree never touches them,
+/// which is exactly why the composition stays simple.
+struct VerifiedOram {
+    oram: PathOram<Vec<u8>>,
+    integrity: MerkleTree,
+}
+
+impl VerifiedOram {
+    fn new() -> VerifiedOram {
+        VerifiedOram {
+            oram: PathOram::new(8, 4, 99),
+            integrity: MerkleTree::new(8, *b"integrity-key-00"), // 256 blocks
+        }
+    }
+
+    fn write(&mut self, block: u64, data: Vec<u8>) {
+        self.integrity.update(block, &data);
+        self.oram.write(block, data);
+    }
+
+    /// Reads and verifies; `Err` means the memory lied.
+    fn read(&mut self, block: u64) -> Result<Option<Vec<u8>>, Box<dyn Error>> {
+        match self.oram.read(block) {
+            None => Ok(None),
+            Some(data) => {
+                if self.integrity.verify(block, &data) {
+                    Ok(Some(data))
+                } else {
+                    Err(format!("integrity violation on block {block}").into())
+                }
+            }
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut store = VerifiedOram::new();
+
+    for i in 0..64u64 {
+        store.write(i, format!("record {i}").into_bytes());
+    }
+    for i in (0..64u64).step_by(7) {
+        let got = store.read(i)?.expect("exists");
+        assert_eq!(got, format!("record {i}").into_bytes());
+    }
+    println!("64 records stored and verified through the ORAM");
+
+    // Simulate a replay: untrusted memory re-serves the old version of
+    // block 9 after an update. (We model it by updating the ORAM but
+    // "losing" the integrity refresh the attacker would have to forge.)
+    store.write(9, b"record 9 v2".to_vec());
+    let ok = store.read(9)?.expect("exists");
+    assert_eq!(ok, b"record 9 v2".to_vec());
+    println!("update to block 9 verified");
+
+    // The attacker's replay: hand back the stale bytes directly.
+    let stale = b"record 9".to_vec();
+    let caught = !store.integrity.verify(9, &stale);
+    assert!(caught);
+    println!("replayed stale block 9 rejected by the Merkle root");
+
+    // And the root is all the TCB had to remember:
+    println!("trusted state: one {}-byte root", store.integrity.root().len());
+    Ok(())
+}

@@ -1,0 +1,311 @@
+//! Command-line driver for the D-ORAM simulation stack.
+//!
+//! ```text
+//! doram-cli run     --bench mummer --scheme doram --k 1 --c 4 --accesses 2000
+//! doram-cli sweep-c --bench libq   --accesses 1500
+//! doram-cli profile --bench black
+//! doram-cli list
+//! ```
+
+use doram::core::profiling::{profile, ProfileScale};
+use doram::core::{RunReport, Scheme, Simulation, SystemConfig};
+use doram::trace::Benchmark;
+use std::error::Error;
+use std::process::ExitCode;
+
+/// Parsed command-line options: `--key value` pairs plus flags.
+#[derive(Debug, Default)]
+struct Opts {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut opts = Opts::default();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}'"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    opts.pairs.push((key.to_string(), it.next().expect("peeked").clone()));
+                }
+                _ => opts.flags.push(key.to_string()),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn parse_benchmark(opts: &Opts) -> Result<Benchmark, String> {
+    let name = opts.get("bench").unwrap_or("mummer");
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.spec().name == name)
+        .ok_or_else(|| format!("unknown benchmark '{name}' (see `doram-cli list`)"))
+}
+
+fn parse_scheme(opts: &Opts) -> Result<Scheme, String> {
+    let k = opts.get_u64("k", 0)? as u32;
+    let c = opts.get_u64("c", 7)? as u32;
+    match opts.get("scheme").unwrap_or("doram") {
+        "solo" | "1ns" => Ok(Scheme::SoloNs),
+        "7ns-4ch" | "ns4" => Ok(Scheme::Ns7on4),
+        "7ns-3ch" | "ns3" => Ok(Scheme::Ns7on3),
+        "baseline" => Ok(Scheme::Baseline),
+        "secmem" => Ok(Scheme::SecureMemory),
+        "partition" | "1s-3ch" => Ok(Scheme::Partition1S),
+        "doram" => Ok(Scheme::DOram { k, c }),
+        other => Err(format!("unknown scheme '{other}' (see `doram-cli list`)")),
+    }
+}
+
+fn build_config(opts: &Opts) -> Result<SystemConfig, String> {
+    let mut b = SystemConfig::builder(parse_benchmark(opts)?)
+        .scheme(parse_scheme(opts)?)
+        .ns_accesses(opts.get_u64("accesses", 2_000)?)
+        .seed(opts.get_u64("seed", 1)?)
+        .merge_split_reads(opts.has_flag("merge"))
+        .sd_pipeline(opts.has_flag("pipeline"));
+    if let Some(t) = opts.get("dummy-interval") {
+        b = b.dummy_interval(t.parse().map_err(|_| "--dummy-interval expects a number")?);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+fn print_report(r: &RunReport) {
+    println!("scheme     : {}", r.scheme);
+    println!("benchmark  : {}", r.benchmark);
+    println!("mem cycles : {}", r.total_mem_cycles);
+    println!(
+        "NS exec    : mean {:.0} / gmean {:.0} / best {} / worst {} CPU cycles",
+        r.ns_exec_mean(),
+        r.ns_exec_geomean(),
+        r.ns_exec_best(),
+        r.ns_exec_worst()
+    );
+    println!(
+        "NS read lat: mean {:.1} p50 {} p95 {} p99 {} (mem cycles)",
+        r.ns_read_latency.mean(),
+        r.ns_read_percentile(0.50).unwrap_or(0),
+        r.ns_read_percentile(0.95).unwrap_or(0),
+        r.ns_read_percentile(0.99).unwrap_or(0),
+    );
+    println!("NS write lat: mean {:.1}", r.ns_write_latency.mean());
+    let util: Vec<String> = r
+        .channel_utilization
+        .iter()
+        .map(|u| format!("{:.0}%", u * 100.0))
+        .collect();
+    println!("channel util: [{}]", util.join(", "));
+    if let Some(o) = &r.oram {
+        println!(
+            "ORAM       : {} real + {} dummy accesses, {:.0} cycles/access ({:.0} read phase)",
+            o.real_accesses, o.dummy_accesses, o.access_latency, o.read_phase_latency
+        );
+    }
+    if let Some((up, down)) = r.secure_link_bytes {
+        println!("secure link: {up} B to SD, {down} B to CPU");
+    }
+    println!("DRAM energy : {:.3} mJ", r.total_energy_mj());
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let cfg = build_config(opts)?;
+    let report = Simulation::new(cfg)?.run()?;
+    if opts.has_flag("json") {
+        println!("{}", doram::core::report::report_json(&report));
+    } else {
+        print_report(&report);
+    }
+    Ok(())
+}
+
+fn cmd_sweep_c(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let bench = parse_benchmark(opts)?;
+    let accesses = opts.get_u64("accesses", 1_500)?;
+    let seed = opts.get_u64("seed", 1)?;
+    let base = {
+        let cfg = SystemConfig::builder(bench)
+            .scheme(Scheme::Baseline)
+            .ns_accesses(accesses)
+            .seed(seed)
+            .build()?;
+        Simulation::new(cfg)?.run()?.ns_exec_mean()
+    };
+    println!("{bench}: normalized NS execution time vs Baseline");
+    let mut best = (0u32, f64::INFINITY);
+    for c in 0..=7u32 {
+        let cfg = SystemConfig::builder(bench)
+            .scheme(Scheme::DOram { k: 0, c })
+            .ns_accesses(accesses)
+            .seed(seed)
+            .build()?;
+        let t = Simulation::new(cfg)?.run()?.ns_exec_mean() / base;
+        if t < best.1 {
+            best = (c, t);
+        }
+        println!("  c={c}: {t:.3}");
+    }
+    println!("best: c={} ({:.3})", best.0, best.1);
+    Ok(())
+}
+
+fn cmd_profile(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let bench = parse_benchmark(opts)?;
+    let p = profile(
+        bench,
+        ProfileScale {
+            accesses: opts.get_u64("accesses", 1_000)?,
+            seed: opts.get_u64("seed", 1)?,
+            stream: 7,
+        },
+    )?;
+    println!("{bench}: solo {:.1} cycles", p.solo_latency);
+    println!("T33 {:.3}  T25 {:.3}  T25mix {:.3}", p.t33, p.t25, p.t25mix);
+    println!(
+        "r = {:.3} → {}",
+        p.ratio(),
+        if p.prefers_small_c() {
+            "prefer small c (keep NS-Apps off the secure channel)"
+        } else {
+            "prefer large c (use all four channels)"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_list() {
+    println!("benchmarks (Table III):");
+    for b in Benchmark::ALL {
+        println!("  {:<8} MPKI {:>5.1}  {:?}", b.spec().name, b.spec().mpki, b.suite());
+    }
+    println!("\nschemes: solo | 7ns-4ch | 7ns-3ch | baseline | secmem | partition | doram (--k 0..3 --c 0..7)");
+    println!("flags  : --merge (split-read merging) --pipeline (SD pipelining)");
+}
+
+const USAGE: &str = "usage: doram-cli <run|sweep-c|profile|check|list> [--bench NAME] [--scheme NAME]
+    [--k 0..3] [--c 0..7] [--accesses N] [--seed N] [--dummy-interval T]
+    [--merge] [--pipeline] [--json]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "sweep-c" => cmd_sweep_c(&opts),
+        "profile" => cmd_profile(&opts),
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "check" => {
+            use doram::core::experiments::{validation, Scale};
+            let scale = Scale {
+                ns_accesses: opts.get_u64("accesses", 800).unwrap_or(800),
+                seed: opts.get_u64("seed", 1).unwrap_or(1),
+                benchmarks: Scale::from_env().benchmarks,
+            };
+            match validation::validate(&scale) {
+                Ok(card) => {
+                    println!("{}", card.render());
+                    if card.structural_ok() { Ok(()) } else { Err("structural claims failed".into()) }
+                }
+                Err(e) => Err(Box::new(e) as Box<dyn Error>),
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Opts {
+        Opts::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let o = opts(&["--bench", "libq", "--merge", "--c", "3"]);
+        assert_eq!(o.get("bench"), Some("libq"));
+        assert_eq!(o.get("c"), Some("3"));
+        assert!(o.has_flag("merge"));
+        assert!(!o.has_flag("pipeline"));
+        assert_eq!(o.get_u64("c", 7).unwrap(), 3);
+        assert_eq!(o.get_u64("k", 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        assert!(Opts::parse(&["oops".to_string()]).is_err());
+    }
+
+    #[test]
+    fn scheme_parsing() {
+        assert_eq!(parse_scheme(&opts(&[])).unwrap(), Scheme::DOram { k: 0, c: 7 });
+        assert_eq!(
+            parse_scheme(&opts(&["--scheme", "doram", "--k", "2", "--c", "1"])).unwrap(),
+            Scheme::DOram { k: 2, c: 1 }
+        );
+        assert_eq!(parse_scheme(&opts(&["--scheme", "baseline"])).unwrap(), Scheme::Baseline);
+        assert!(parse_scheme(&opts(&["--scheme", "nope"])).is_err());
+    }
+
+    #[test]
+    fn benchmark_parsing() {
+        assert_eq!(parse_benchmark(&opts(&["--bench", "tigr"])).unwrap(), Benchmark::Tigr);
+        assert!(parse_benchmark(&opts(&["--bench", "nope"])).is_err());
+    }
+
+    #[test]
+    fn config_building_honors_flags() {
+        let cfg = build_config(&opts(&["--accesses", "500", "--merge", "--pipeline"])).unwrap();
+        assert_eq!(cfg.ns_accesses, 500);
+        assert!(cfg.merge_split_reads);
+        assert!(cfg.sd_pipeline);
+        assert!(build_config(&opts(&["--k", "9"])).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Integration of the experiment pipeline: every figure module's run /
+//! render / CSV path exercised end to end at tiny scale, with structural
+//! checks on the outputs.
+
+use doram::core::experiments::{
+    ablations, fig10, fig11, fig12, fig13, fig4, fig8, fig9, sapp, table1, table3, Scale,
+};
+use doram::trace::Benchmark;
+
+fn tiny() -> Scale {
+    Scale {
+        ns_accesses: 300,
+        seed: 1,
+        benchmarks: vec![Benchmark::Mummer, Benchmark::Black],
+    }
+}
+
+/// CSV sanity: header + one line per row, constant column count.
+fn check_csv(csv: &str, rows: usize) {
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), rows + 1, "csv:\n{csv}");
+    let cols = lines[0].split(',').count();
+    assert!(cols >= 2);
+    for l in &lines[1..] {
+        assert_eq!(l.split(',').count(), cols, "ragged csv:\n{csv}");
+    }
+}
+
+#[test]
+fn tables_render_and_check() {
+    let t1 = table1::run();
+    assert_eq!(t1.len(), 3);
+    assert!(table1::render(&t1).contains("50.0%"));
+    let t3 = table3::run(5_000);
+    assert_eq!(t3.len(), 15);
+    assert!(table3::render(&t3).contains("libq"));
+}
+
+#[test]
+fn fig4_pipeline() {
+    let rows = fig4::run(&tiny()).unwrap();
+    assert_eq!(rows.len(), 2);
+    check_csv(&fig4::render_csv(&rows), 2);
+    assert!(fig4::render(&rows).contains("1S7NS"));
+}
+
+#[test]
+fn fig8_pipeline() {
+    let rows = fig8::run(&tiny()).unwrap();
+    assert_eq!(rows.len(), 2);
+    check_csv(&fig8::render_csv(&rows), 2);
+    for r in &rows {
+        assert!(r.ratio().is_finite() && r.ratio() > 0.0);
+    }
+}
+
+#[test]
+fn fig9_to_12_pipeline_shares_the_sweep() {
+    let scale = tiny();
+    let (f9, sweep) = fig9::run(&scale).unwrap();
+    assert_eq!(f9.len(), 2);
+    assert_eq!(sweep.len(), 2);
+    check_csv(&fig9::render_csv(&f9), 2);
+    check_csv(&fig11::render_csv(&sweep), 2);
+    let f12 = fig12::run(&scale, &sweep).unwrap();
+    check_csv(&fig12::render_csv(&f12), 2);
+    // Consistency: fig9's /X equals the sweep's best.
+    for (nine, eleven) in f9.iter().zip(sweep.iter()) {
+        assert_eq!(nine.benchmark, eleven.benchmark);
+        assert!((nine.doram_x - eleven.best_norm()).abs() < 1e-12);
+        assert_eq!(nine.best_c, eleven.best_c());
+    }
+}
+
+#[test]
+fn fig10_and_13_pipeline() {
+    let scale = tiny();
+    let f10 = fig10::run(&scale).unwrap();
+    check_csv(&fig10::render_csv(&f10), 2);
+    assert_eq!(f10[0].norm_by_k[0], 1.0, "k=0 is the normalizer");
+    let f13 = fig13::run(&scale).unwrap();
+    check_csv(&fig13::render_csv(&f13), 2);
+}
+
+#[test]
+fn sapp_and_one_ablation() {
+    let mut scale = tiny();
+    scale.benchmarks = vec![Benchmark::Mummer];
+    let rows = sapp::run(&scale).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(sapp::render(&rows).contains("base ns"));
+    let sweep = ablations::tree_top(Benchmark::Mummer, &scale).unwrap();
+    assert_eq!(sweep.points.len(), 4);
+    assert!(ablations::render(Benchmark::Mummer, &[sweep]).contains("tree-top"));
+}
+
+#[test]
+fn parallel_sweep_is_deterministic() {
+    // par_over_benchmarks must produce identical results across runs.
+    let a = fig4::run(&tiny()).unwrap();
+    let b = fig4::run(&tiny()).unwrap();
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.benchmark, y.benchmark);
+        assert_eq!(x.oram_1s7ns.to_bits(), y.oram_1s7ns.to_bits());
+        assert_eq!(x.ns7_3ch.to_bits(), y.ns7_3ch.to_bits());
+    }
+}

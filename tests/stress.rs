@@ -1,0 +1,177 @@
+//! Stress integration: the most complex configurations the stack
+//! supports, checked for liveness, sanity, and determinism.
+
+use doram::bob::LinkConfig;
+use doram::core::{RunReport, Scheme, Simulation, SystemConfig};
+use doram::dram::PagePolicy;
+use doram::trace::Benchmark;
+
+/// The kitchen sink: tree split k=3, sharing c=2, merged split reads, SD
+/// pipelining, heterogeneous tenants, lossy links, closed-page DRAM.
+fn kitchen_sink(seed: u64) -> RunReport {
+    let cfg = SystemConfig::builder(Benchmark::Mummer)
+        .scheme(Scheme::DOram { k: 3, c: 2 })
+        .ns_accesses(500)
+        .seed(seed)
+        .ns_benchmarks(vec![
+            Benchmark::Face,
+            Benchmark::Libq,
+            Benchmark::Black,
+            Benchmark::Comm2,
+            Benchmark::Tigr,
+            Benchmark::Stream,
+            Benchmark::Ferret,
+        ])
+        .merge_split_reads(true)
+        .sd_pipeline(true)
+        .page_policy(PagePolicy::Closed)
+        .link(LinkConfig {
+            error_rate_ppm: 5_000,
+            ..LinkConfig::default()
+        })
+        .max_mem_cycles(100_000_000)
+        .build()
+        .expect("valid configuration");
+    Simulation::new(cfg).expect("valid").run().expect("completes")
+}
+
+#[test]
+fn kitchen_sink_completes_and_is_sane() {
+    let r = kitchen_sink(1);
+    assert_eq!(r.ns_exec_cpu_cycles.len(), 7);
+    for (i, &t) in r.ns_exec_cpu_cycles.iter().enumerate() {
+        assert!(t > 0, "tenant {i}");
+    }
+    let oram = r.oram.clone().expect("SD ran");
+    assert!(oram.real_accesses > 0);
+    // Latency floors: nothing can beat the physical read path.
+    assert!(r.ns_read_latency.min().unwrap() >= 15.0, "CL + burst floor");
+    // Utilizations are fractions.
+    for u in &r.channel_utilization {
+        assert!((0.0..=1.0).contains(u));
+    }
+    for h in &r.channel_row_hit {
+        assert!((0.0..=1.0).contains(h));
+    }
+    // Percentiles are ordered.
+    let p50 = r.ns_read_percentile(0.5).unwrap();
+    let p99 = r.ns_read_percentile(0.99).unwrap();
+    assert!(p50 <= p99);
+}
+
+#[test]
+fn kitchen_sink_is_deterministic() {
+    let a = kitchen_sink(7);
+    let b = kitchen_sink(7);
+    assert_eq!(a.ns_exec_cpu_cycles, b.ns_exec_cpu_cycles);
+    assert_eq!(a.total_mem_cycles, b.total_mem_cycles);
+    assert_eq!(
+        a.oram.unwrap().real_accesses,
+        b.oram.unwrap().real_accesses
+    );
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let a = kitchen_sink(1);
+    let b = kitchen_sink(2);
+    assert_ne!(
+        a.ns_exec_cpu_cycles, b.ns_exec_cpu_cycles,
+        "different seeds must perturb the run"
+    );
+}
+
+#[test]
+fn every_scheme_smokes_at_small_scale() {
+    for scheme in [
+        Scheme::SoloNs,
+        Scheme::Ns7on4,
+        Scheme::Ns7on3,
+        Scheme::Baseline,
+        Scheme::SecureMemory,
+        Scheme::Partition1S,
+        Scheme::DOram { k: 0, c: 7 },
+        Scheme::DOram { k: 1, c: 0 },
+        Scheme::DOram { k: 3, c: 7 },
+    ] {
+        let cfg = SystemConfig::builder(Benchmark::Swapt)
+            .scheme(scheme)
+            .ns_accesses(200)
+            .tree_l_max(10)
+            .max_mem_cycles(50_000_000)
+            .build()
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        let r = Simulation::new(cfg)
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"))
+            .run()
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        assert_eq!(r.ns_exec_cpu_cycles.len(), scheme.ns_apps(), "{scheme}");
+    }
+}
+
+#[test]
+fn full_system_is_jedec_conformant() {
+    // The strongest timing validation: run complete systems (Baseline
+    // with on-chip ORAM, and D-ORAM with split + sharing) while recording
+    // every DRAM device command, then re-validate the entire JEDEC rule
+    // set with the independent conformance checker.
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::DOram { k: 2, c: 4 },
+        Scheme::SecureMemory,
+    ] {
+        let cfg = SystemConfig::builder(Benchmark::Mummer)
+            .scheme(scheme)
+            .ns_accesses(300)
+            .tree_l_max(12)
+            .max_mem_cycles(50_000_000)
+            .build()
+            .unwrap();
+        Simulation::new(cfg)
+            .unwrap()
+            .run_with_conformance_check()
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+    }
+}
+
+#[test]
+fn conformance_run_matches_plain_run() {
+    let mk = || {
+        SystemConfig::builder(Benchmark::Libq)
+            .scheme(Scheme::DOram { k: 1, c: 7 })
+            .ns_accesses(300)
+            .build()
+            .unwrap()
+    };
+    let plain = Simulation::new(mk()).unwrap().run().unwrap();
+    let checked = Simulation::new(mk())
+        .unwrap()
+        .run_with_conformance_check()
+        .unwrap();
+    assert_eq!(plain.ns_exec_cpu_cycles, checked.ns_exec_cpu_cycles);
+    assert_eq!(plain.total_mem_cycles, checked.total_mem_cycles);
+}
+
+#[test]
+fn lossy_links_cost_time_but_nothing_hangs() {
+    let run = |ppm: u32| {
+        let cfg = SystemConfig::builder(Benchmark::Libq)
+            .scheme(Scheme::DOram { k: 0, c: 7 })
+            .ns_accesses(400)
+            .link(LinkConfig {
+                error_rate_ppm: ppm,
+                ..LinkConfig::default()
+            })
+            .build()
+            .expect("valid");
+        Simulation::new(cfg).expect("valid").run().expect("completes")
+    };
+    let clean = run(0);
+    let lossy = run(100_000); // 10% frame loss: extreme
+    assert!(
+        lossy.ns_exec_mean() > clean.ns_exec_mean(),
+        "10% frame replays must cost time: {} vs {}",
+        lossy.ns_exec_mean(),
+        clean.ns_exec_mean()
+    );
+}
