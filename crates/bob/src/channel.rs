@@ -5,10 +5,11 @@
 //! and returns read responses over the link. Writes are posted: they
 //! complete when DRAM finishes them, with no response packet.
 
-use crate::link::{Link, LinkConfig};
+use crate::link::{Link, LinkConfig, LinkStats};
 use crate::packet::PacketKind;
 use doram_dram::{Completion, MemOp, MemRequest, SubChannel, SubChannelConfig};
-use doram_sim::MemCycle;
+use doram_sim::fault::{FaultCounts, FaultPlan};
+use doram_sim::{MemCycle, SimError};
 use std::collections::VecDeque;
 
 /// Messages crossing a normal channel's serial link.
@@ -49,6 +50,10 @@ pub struct BobChannel {
     resp_pending: VecDeque<Completion>,
     /// Scratch: completions from sub-channels each tick.
     scratch: Vec<Completion>,
+    /// First protocol violation observed (a message arrived at the wrong
+    /// endpoint). Latched instead of panicking so the simulation drains
+    /// and the caller can fail-stop.
+    fault: Option<SimError>,
 }
 
 impl BobChannel {
@@ -65,7 +70,31 @@ impl BobChannel {
             mc_pending: VecDeque::new(),
             resp_pending: VecDeque::new(),
             scratch: Vec::new(),
+            fault: None,
         }
+    }
+
+    /// Installs a system-wide fault plan on the channel's link, overriding
+    /// the per-link rates of [`LinkConfig`]. `site` must be unique per
+    /// link so each draws an independent fault stream.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, site: u64) {
+        self.link.set_fault_plan(plan, site);
+    }
+
+    /// Link-level error/recovery statistics (both directions merged).
+    pub fn link_stats(&self) -> LinkStats {
+        self.link.stats()
+    }
+
+    /// Faults injected on the link so far (both directions merged).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.link.fault_counts()
+    }
+
+    /// The first unrecovered fault on this channel, if any: a link retry
+    /// budget exhaustion or a protocol violation.
+    pub fn fault(&self) -> Option<&SimError> {
+        self.fault.as_ref().or_else(|| self.link.fault())
     }
 
     /// Number of sub-channels behind the SimpleMC.
@@ -126,7 +155,10 @@ impl BobChannel {
             .send_to_mem(kind.wire_bytes(), ChannelMsg::Request(req))
             .map_err(|m| match m {
                 ChannelMsg::Request(r) => r,
-                ChannelMsg::Response(_) => unreachable!("sent a request"),
+                // Total match without panicking: the rejected message is
+                // the one we just passed in, so this arm cannot run; if it
+                // ever does, hand the original request back unchanged.
+                ChannelMsg::Response(_) => req,
             })
     }
 
@@ -153,7 +185,7 @@ impl BobChannel {
         for msg in at_mem {
             match msg {
                 ChannelMsg::Request(r) => self.mc_pending.push_back(r),
-                ChannelMsg::Response(_) => unreachable!("responses travel to the CPU"),
+                ChannelMsg::Response(_) => self.latch_protocol_fault("response arrived at memory"),
             }
         }
         for msg in at_cpu {
@@ -162,7 +194,7 @@ impl BobChannel {
                     request: c.request,
                     finished: now,
                 }),
-                ChannelMsg::Request(_) => unreachable!("requests travel to memory"),
+                ChannelMsg::Request(_) => self.latch_protocol_fault("request arrived at CPU"),
             }
         }
 
@@ -203,6 +235,14 @@ impl BobChannel {
                 }
                 Err(_) => break,
             }
+        }
+    }
+
+    /// Records the first misrouted-message violation (drops the message).
+    fn latch_protocol_fault(&mut self, detail: &str) {
+        debug_assert!(false, "bob channel: {detail}");
+        if self.fault.is_none() {
+            self.fault = Some(SimError::protocol(format!("bob channel: {detail}")));
         }
     }
 }
@@ -329,6 +369,42 @@ mod tests {
         let mut done = Vec::new();
         ch.tick(MemCycle(5000), &mut done);
         assert!(ch.is_idle());
+    }
+
+    #[test]
+    fn faulty_channel_still_completes_everything() {
+        use doram_sim::fault::FaultRates;
+        let mut ch = BobChannel::new(BobChannelConfig::default());
+        // 2% of frames corrupted, 1% dropped: heavy but recoverable.
+        ch.set_fault_plan(
+            &FaultPlan::with_rates(
+                99,
+                FaultRates {
+                    corrupt_ppm: 20_000,
+                    drop_ppm: 10_000,
+                    ..FaultRates::none()
+                },
+            ),
+            0,
+        );
+        let mut done = Vec::new();
+        let mut now = MemCycle(0);
+        let mut sent = 0u64;
+        while done.len() < 200 && now.0 < 200_000 {
+            if sent < 200 && ch.try_send(req(sent, MemOp::Read, sent * 64), now).is_ok() {
+                sent += 1;
+            }
+            ch.tick(now, &mut done);
+            now += MemCycle(1);
+        }
+        assert_eq!(done.len(), 200, "every read recovered");
+        let stats = ch.link_stats();
+        assert!(stats.retransmissions > 0, "faults must have fired");
+        assert_eq!(
+            ch.fault_counts().corrupt_frames + ch.fault_counts().drop_frames,
+            stats.crc_errors + stats.timeouts
+        );
+        assert!(ch.fault().is_none(), "no retry budget exhausted");
     }
 
     #[test]

@@ -6,9 +6,31 @@
 //! serial link comparable to one DDR3-1600 parallel channel (§III-A:
 //! "the peak bandwidth of one serial link channel is set to be comparable
 //! with that of one parallel link channel"), i.e. 16 B per 1.25 ns tCK.
+//!
+//! # Fault model and recovery
+//!
+//! High-speed serial links protect frames with a CRC and run a NAK/replay
+//! protocol. This module models the full recovery loop deterministically:
+//!
+//! * **Corrupt frame** — the receiver detects the bad CRC and NAKs; the
+//!   sender replays after one extra round trip plus re-serialization.
+//! * **Dropped frame** — nothing arrives, so no NAK either; the sender's
+//!   retransmission timer expires ([`LinkConfig::retry_timeout`]) and the
+//!   frame is replayed.
+//! * **Delayed frame** — the frame is held for a configured number of
+//!   memory cycles but arrives intact (no retry).
+//!
+//! Each replay attempt adds exponential backoff
+//! ([`LinkConfig::backoff_base`] · 2^attempt, capped) and retries are
+//! bounded by [`LinkConfig::max_retries`]; a frame that exhausts its budget
+//! is surfaced through [`Link::fault`] as a typed
+//! [`SimError::LinkTimeout`] so the system layer can fail-stop. All penalty
+//! cycles are charged up front on the frame's arrival time, which keeps the
+//! link a deterministic function of (config, fault plan, send sequence) —
+//! a faulty run delivers exactly the same frames as a clean run, later.
 
-use doram_sim::rng::Xoshiro256;
-use doram_sim::MemCycle;
+use doram_sim::fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultRates};
+use doram_sim::{MemCycle, SimError};
 use std::collections::VecDeque;
 
 /// Link parameters.
@@ -20,12 +42,25 @@ pub struct LinkConfig {
     pub latency: MemCycle,
     /// Maximum packets queued waiting for the serializer, per direction.
     pub tx_queue: usize,
-    /// Probability (per million packets) that a frame is corrupted in
-    /// flight and must be retransmitted — high-speed serial links run a
-    /// CRC + replay protocol. 0 disables error injection.
+    /// Probability (per million frames) that a frame is corrupted in
+    /// flight, detected by CRC at the receiver, and NAK-replayed.
+    /// 0 disables corruption injection.
     pub error_rate_ppm: u32,
+    /// Probability (per million frames) that a frame is dropped outright
+    /// and recovered by retransmission timeout. 0 disables drops.
+    pub drop_rate_ppm: u32,
     /// Seed for deterministic error injection.
     pub error_seed: u64,
+    /// Maximum retransmissions per frame before the link reports a
+    /// [`SimError::LinkTimeout`] (the frame is still delivered so the
+    /// simulation can drain, but the fault is latched for fail-stop).
+    pub max_retries: u32,
+    /// Sender-side retransmission timeout for dropped frames, in memory
+    /// cycles. Must exceed a round trip to be meaningful.
+    pub retry_timeout: MemCycle,
+    /// Base of the exponential backoff added per replay attempt
+    /// (attempt `k` waits `backoff_base * 2^(k-1)`, capped at 2^6).
+    pub backoff_base: MemCycle,
 }
 
 impl Default for LinkConfig {
@@ -39,8 +74,55 @@ impl Default for LinkConfig {
             latency: MemCycle::from_nanos(7.5),
             tx_queue: 32,
             error_rate_ppm: 0,
+            drop_rate_ppm: 0,
             error_seed: 0x11_4B,
+            max_retries: 8,
+            // > 2 * latency + worst-case serialization (5 cycles for 72 B).
+            retry_timeout: MemCycle(32),
+            backoff_base: MemCycle(4),
         }
+    }
+}
+
+impl LinkConfig {
+    /// The per-frame fault rates implied by this config (used when no
+    /// system-wide [`FaultPlan`] overrides the link).
+    fn fault_rates(&self) -> FaultRates {
+        FaultRates {
+            corrupt_ppm: self.error_rate_ppm,
+            drop_ppm: self.drop_rate_ppm,
+            ..FaultRates::none()
+        }
+    }
+}
+
+/// Per-direction recovery statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Frames replayed, for any reason (CRC NAK or drop timeout).
+    pub retransmissions: u64,
+    /// Replays triggered by CRC failures (corrupt frames).
+    pub crc_errors: u64,
+    /// Replays triggered by retransmission timeouts (dropped frames).
+    pub timeouts: u64,
+    /// Frames held up by an injected delay (no replay needed).
+    pub delayed_frames: u64,
+    /// Frames whose retry budget ran out (each also latches a fault).
+    pub exhausted_retries: u64,
+    /// Total extra memory cycles spent recovering (NAK round trips,
+    /// timeout waits, backoff, re-serialization, injected delays).
+    pub recovery_cycles: u64,
+}
+
+impl LinkStats {
+    /// Adds another stats block into this one.
+    pub fn absorb(&mut self, other: &LinkStats) {
+        self.retransmissions += other.retransmissions;
+        self.crc_errors += other.crc_errors;
+        self.timeouts += other.timeouts;
+        self.delayed_frames += other.delayed_frames;
+        self.exhausted_retries += other.exhausted_retries;
+        self.recovery_cycles += other.recovery_cycles;
     }
 }
 
@@ -56,22 +138,29 @@ struct Direction<M> {
     flying: VecDeque<(MemCycle, M)>,
     /// Total bytes ever accepted (for utilization accounting).
     bytes_sent: u64,
-    /// Error-injection state.
-    rng: Xoshiro256,
-    /// Frames corrupted and replayed.
-    retransmissions: u64,
+    /// Fault-injection state for this direction.
+    injector: FaultInjector,
+    /// Recovery accounting.
+    stats: LinkStats,
+    /// First exhausted-retry fault, latched for fail-stop escalation.
+    fault: Option<SimError>,
+    /// Which end this direction feeds, for fault messages.
+    label: &'static str,
 }
 
 impl<M> Direction<M> {
-    fn new(cfg: LinkConfig, stream: u64) -> Direction<M> {
+    fn new(cfg: LinkConfig, stream: u64, label: &'static str) -> Direction<M> {
+        let plan = FaultPlan::with_rates(cfg.error_seed, cfg.fault_rates());
         Direction {
             cfg,
             tx: VecDeque::new(),
             tx_busy_until: MemCycle::ZERO,
             flying: VecDeque::new(),
             bytes_sent: 0,
-            rng: Xoshiro256::stream(cfg.error_seed, stream),
-            retransmissions: 0,
+            injector: plan.injector(stream),
+            stats: LinkStats::default(),
+            fault: None,
+            label,
         }
     }
 
@@ -82,6 +171,61 @@ impl<M> Direction<M> {
         self.tx.push_back((bytes, msg));
         self.bytes_sent += bytes;
         Ok(())
+    }
+
+    /// Exponential backoff for replay attempt `attempt` (1-based).
+    fn backoff(&self, attempt: u32) -> u64 {
+        self.cfg.backoff_base.0 << (attempt.saturating_sub(1)).min(6)
+    }
+
+    /// Rolls the CRC/drop/delay recovery protocol for one frame and returns
+    /// the total extra cycles its delivery is penalized.
+    fn roll_recovery(&mut self, now: MemCycle, ser_cycles: u64) -> u64 {
+        if self.injector.is_disabled() {
+            return 0;
+        }
+        let mut penalty = 0u64;
+        // An injected delay holds the frame but needs no replay.
+        if self.injector.roll(FaultKind::DelayFrame, now) {
+            penalty += self.injector.delay_cycles(now);
+            self.stats.delayed_frames += 1;
+        }
+        let mut attempt = 0u32;
+        loop {
+            let corrupt = self.injector.roll(FaultKind::CorruptFrame, now);
+            // A frame that never arrives cannot also fail its CRC; only
+            // roll for a drop when the copy made it across.
+            let dropped = !corrupt && self.injector.roll(FaultKind::DropFrame, now);
+            if !corrupt && !dropped {
+                break;
+            }
+            attempt += 1;
+            if attempt > self.cfg.max_retries {
+                self.stats.exhausted_retries += 1;
+                if self.fault.is_none() {
+                    self.fault = Some(SimError::link_timeout(
+                        attempt - 1,
+                        format!("{}: frame retry budget exhausted", self.label),
+                    ));
+                }
+                break;
+            }
+            self.stats.retransmissions += 1;
+            if corrupt {
+                // NAK round trip: bad frame arrives (already charged),
+                // NAK flies back, replacement re-serializes and flies.
+                self.stats.crc_errors += 1;
+                penalty += 2 * self.cfg.latency.0 + ser_cycles;
+            } else {
+                // No NAK for a vanished frame: the sender's timer expires,
+                // then the replacement re-serializes and flies.
+                self.stats.timeouts += 1;
+                penalty += self.cfg.retry_timeout.0 + ser_cycles;
+            }
+            penalty += self.backoff(attempt);
+        }
+        self.stats.recovery_cycles += penalty;
+        penalty
     }
 
     /// Moves queued packets into flight as the serializer frees up, then
@@ -96,16 +240,10 @@ impl<M> Direction<M> {
             let done = start + MemCycle(ser_cycles);
             self.tx_busy_until = done;
             let (_, msg) = self.tx.pop_front().expect("front checked");
-            // CRC error + replay: a corrupted frame is detected at the
-            // receiver and retransmitted — one extra round trip plus the
-            // serialization cost, charged up front for simplicity.
-            let mut arrival = done + self.cfg.latency;
-            if self.cfg.error_rate_ppm > 0 {
-                while self.rng.gen_below(1_000_000) < self.cfg.error_rate_ppm as u64 {
-                    arrival = arrival + self.cfg.latency + self.cfg.latency + MemCycle(ser_cycles);
-                    self.retransmissions += 1;
-                }
-            }
+            // CRC + NAK/replay and drop/timeout recovery, charged up front
+            // for determinism: the frame always arrives, just later.
+            let penalty = self.roll_recovery(now, ser_cycles);
+            let arrival = done + self.cfg.latency + MemCycle(penalty);
             // Keep arrival order sorted: a replayed frame lands after
             // frames sent later (the link delivers in arrival order).
             let pos = self
@@ -142,9 +280,17 @@ impl<M> Link<M> {
     /// Creates a link with the given per-direction configuration.
     pub fn new(cfg: LinkConfig) -> Link<M> {
         Link {
-            to_mem: Direction::new(cfg, 0),
-            to_cpu: Direction::new(cfg, 1),
+            to_mem: Direction::new(cfg, 0, "link cpu->mem"),
+            to_cpu: Direction::new(cfg, 1, "link mem->cpu"),
         }
+    }
+
+    /// Replaces both directions' injectors with streams drawn from a
+    /// system-wide fault plan. `site` distinguishes this link from others
+    /// sharing the plan (two streams per link).
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, site: u64) {
+        self.to_mem.injector = plan.injector(site * 2);
+        self.to_cpu.injector = plan.injector(site * 2 + 1);
     }
 
     /// Queues a message toward the memory side.
@@ -196,9 +342,32 @@ impl<M> Link<M> {
         (self.to_mem.bytes_sent, self.to_cpu.bytes_sent)
     }
 
-    /// Frames corrupted and replayed (to-mem, to-cpu).
+    /// Frames replayed (to-mem, to-cpu).
     pub fn retransmissions(&self) -> (u64, u64) {
-        (self.to_mem.retransmissions, self.to_cpu.retransmissions)
+        (
+            self.to_mem.stats.retransmissions,
+            self.to_cpu.stats.retransmissions,
+        )
+    }
+
+    /// Recovery statistics, both directions merged.
+    pub fn stats(&self) -> LinkStats {
+        let mut s = self.to_mem.stats;
+        s.absorb(&self.to_cpu.stats);
+        s
+    }
+
+    /// Faults injected into this link, both directions merged.
+    pub fn fault_counts(&self) -> FaultCounts {
+        let mut c = self.to_mem.injector.counts();
+        c.absorb(&self.to_cpu.injector.counts());
+        c
+    }
+
+    /// The first retry-budget exhaustion, if any (latched; the frame was
+    /// still delivered, but the system layer should fail-stop).
+    pub fn fault(&self) -> Option<&SimError> {
+        self.to_mem.fault.as_ref().or(self.to_cpu.fault.as_ref())
     }
 }
 
@@ -289,6 +458,28 @@ mod tests {
         assert_eq!(link.pending(), 0);
     }
 
+    /// Drives 200 frames through a link and returns (arrivals, stats).
+    fn run_lossy(cfg: LinkConfig) -> (Vec<(u32, u64)>, LinkStats) {
+        let mut link: Link<u32> = Link::new(cfg);
+        let mut next = 0u32;
+        let mut got = Vec::new();
+        for c in 0..200_000u64 {
+            if next < 200 && link.send_to_mem(72, next).is_ok() {
+                next += 1;
+            }
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            link.tick(MemCycle(c), &mut a, &mut b);
+            for m in a {
+                got.push((m, c));
+            }
+            if got.len() == 200 {
+                break;
+            }
+        }
+        (got, link.stats())
+    }
+
     #[test]
     fn error_injection_replays_and_delays() {
         let clean = LinkConfig::default();
@@ -296,30 +487,17 @@ mod tests {
             error_rate_ppm: 200_000, // 20%: exaggerated to observe quickly
             ..clean
         };
-        let run = |cfg: LinkConfig| {
-            let mut link: Link<u32> = Link::new(cfg);
-            let mut next = 0u32;
-            let mut got = Vec::new();
-            for c in 0..50_000u64 {
-                if next < 200 && link.send_to_mem(72, next).is_ok() {
-                    next += 1;
-                }
-                let mut a = Vec::new();
-                let mut b = Vec::new();
-                link.tick(MemCycle(c), &mut a, &mut b);
-                for m in a {
-                    got.push((m, c));
-                }
-                if got.len() == 200 {
-                    break;
-                }
-            }
-            (got, link.retransmissions().0)
-        };
-        let (clean_got, clean_retx) = run(clean);
-        let (lossy_got, lossy_retx) = run(lossy);
-        assert_eq!(clean_retx, 0);
-        assert!(lossy_retx > 10, "retransmissions {lossy_retx}");
+        let (clean_got, clean_stats) = run_lossy(clean);
+        let (lossy_got, lossy_stats) = run_lossy(lossy);
+        assert_eq!(clean_stats.retransmissions, 0);
+        assert_eq!(clean_stats.recovery_cycles, 0);
+        assert!(
+            lossy_stats.retransmissions > 10,
+            "retransmissions {}",
+            lossy_stats.retransmissions
+        );
+        assert_eq!(lossy_stats.crc_errors, lossy_stats.retransmissions);
+        assert!(lossy_stats.recovery_cycles > 0);
         assert_eq!(clean_got.len(), 200);
         assert_eq!(lossy_got.len(), 200, "no frame is ever lost");
         // The serializer is the throughput bottleneck, so the *final*
@@ -330,6 +508,104 @@ mod tests {
             sum(&lossy_got) > sum(&clean_got),
             "replays must cost aggregate time"
         );
+    }
+
+    #[test]
+    fn dropped_frames_recover_by_timeout() {
+        let cfg = LinkConfig {
+            drop_rate_ppm: 200_000,
+            ..LinkConfig::default()
+        };
+        let (got, stats) = run_lossy(cfg);
+        assert_eq!(got.len(), 200, "every dropped frame is retransmitted");
+        assert!(stats.timeouts > 10, "timeouts {}", stats.timeouts);
+        assert_eq!(stats.crc_errors, 0);
+        assert_eq!(stats.timeouts, stats.retransmissions);
+        // A timeout recovery costs at least the retransmission timeout.
+        assert!(stats.recovery_cycles >= stats.timeouts * cfg.retry_timeout.0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let cfg = LinkConfig {
+            error_rate_ppm: 100_000,
+            drop_rate_ppm: 50_000,
+            ..LinkConfig::default()
+        };
+        let (got_a, stats_a) = run_lossy(cfg);
+        let (got_b, stats_b) = run_lossy(cfg);
+        assert_eq!(got_a, got_b);
+        assert_eq!(stats_a, stats_b);
+        let (got_c, stats_c) = run_lossy(LinkConfig {
+            error_seed: 0xDEAD,
+            ..cfg
+        });
+        assert!(got_a != got_c || stats_a != stats_c, "seed must matter");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_latches_fault() {
+        // 100% corruption: every attempt fails, so the budget runs out and
+        // the link latches a LinkTimeout — but still delivers the frame.
+        let cfg = LinkConfig {
+            error_rate_ppm: 1_000_000,
+            ..LinkConfig::default()
+        };
+        let mut link: Link<u32> = Link::new(cfg);
+        link.send_to_mem(72, 1).unwrap();
+        let got = drain(&mut link, 100_000);
+        assert_eq!(got.len(), 1, "fail-stop still drains the frame");
+        let stats = link.stats();
+        assert_eq!(stats.exhausted_retries, 1);
+        assert_eq!(stats.retransmissions, cfg.max_retries as u64);
+        match link.fault() {
+            Some(SimError::LinkTimeout { attempts, .. }) => {
+                assert_eq!(*attempts, cfg.max_retries);
+            }
+            other => panic!("expected LinkTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let cfg = LinkConfig::default();
+        let dir: Direction<u32> = Direction::new(cfg, 0, "test");
+        assert_eq!(dir.backoff(1), cfg.backoff_base.0);
+        assert_eq!(dir.backoff(2), cfg.backoff_base.0 * 2);
+        assert_eq!(dir.backoff(4), cfg.backoff_base.0 * 8);
+        // Capped so a long retry storm cannot overflow.
+        assert_eq!(dir.backoff(60), cfg.backoff_base.0 * 64);
+    }
+
+    #[test]
+    fn system_fault_plan_overrides_config() {
+        // Config says clean; an installed plan injects heavily.
+        let mut link: Link<u32> = Link::new(LinkConfig::default());
+        let plan = FaultPlan::with_rates(
+            9,
+            FaultRates {
+                corrupt_ppm: 300_000,
+                ..FaultRates::none()
+            },
+        );
+        link.set_fault_plan(&plan, 0);
+        let mut next = 0u32;
+        let mut delivered = 0usize;
+        for c in 0..100_000u64 {
+            if next < 100 && link.send_to_mem(72, next).is_ok() {
+                next += 1;
+            }
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            link.tick(MemCycle(c), &mut a, &mut b);
+            delivered += a.len();
+            if delivered == 100 {
+                break;
+            }
+        }
+        assert_eq!(delivered, 100);
+        assert!(link.stats().retransmissions > 0);
+        assert!(link.fault_counts().corrupt_frames > 0);
     }
 
     #[test]

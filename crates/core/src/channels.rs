@@ -110,6 +110,38 @@ impl Channel {
             }
         }
     }
+
+    /// Installs a fault plan on the channel's serial link (no-op for
+    /// direct-attached channels, which have no link to fault).
+    pub fn set_fault_plan(&mut self, plan: &doram_sim::fault::FaultPlan, site: u64) {
+        if let Channel::Bob(ch) = self {
+            ch.set_fault_plan(plan, site);
+        }
+    }
+
+    /// Link error/recovery statistics (zeroed for direct channels).
+    pub fn link_stats(&self) -> doram_bob::LinkStats {
+        match self {
+            Channel::Direct(_) => doram_bob::LinkStats::default(),
+            Channel::Bob(ch) => ch.link_stats(),
+        }
+    }
+
+    /// Faults injected on the channel's link (zeroed for direct channels).
+    pub fn fault_counts(&self) -> doram_sim::fault::FaultCounts {
+        match self {
+            Channel::Direct(_) => doram_sim::fault::FaultCounts::default(),
+            Channel::Bob(ch) => ch.fault_counts(),
+        }
+    }
+
+    /// The first unrecovered link fault on this channel, if any.
+    pub fn fault(&self) -> Option<&doram_sim::SimError> {
+        match self {
+            Channel::Direct(_) => None,
+            Channel::Bob(ch) => ch.fault(),
+        }
+    }
 }
 
 /// The set of normal channels of the system.
@@ -176,6 +208,38 @@ impl ChannelFabric {
         for ch in self.channels.iter_mut() {
             ch.tick(now, completed);
         }
+    }
+
+    /// Installs a fault plan on every BOB channel's link; channel `i` uses
+    /// fault site `base_site + i` so each link draws an independent,
+    /// deterministic fault stream.
+    pub fn set_fault_plan(&mut self, plan: &doram_sim::fault::FaultPlan, base_site: u64) {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.set_fault_plan(plan, base_site + i as u64);
+        }
+    }
+
+    /// Link error/recovery statistics summed over every channel.
+    pub fn link_stats(&self) -> doram_bob::LinkStats {
+        let mut total = doram_bob::LinkStats::default();
+        for ch in &self.channels {
+            total.absorb(&ch.link_stats());
+        }
+        total
+    }
+
+    /// Injected-fault counts summed over every channel's link.
+    pub fn fault_counts(&self) -> doram_sim::fault::FaultCounts {
+        let mut total = doram_sim::fault::FaultCounts::default();
+        for ch in &self.channels {
+            total.absorb(&ch.fault_counts());
+        }
+        total
+    }
+
+    /// The first unrecovered link fault across the fabric, if any.
+    pub fn fault(&self) -> Option<&doram_sim::SimError> {
+        self.channels.iter().find_map(|ch| ch.fault())
     }
 
     /// The sub-channel configuration the paper's Table II implies, with

@@ -2,6 +2,8 @@
 
 use doram_bob::LinkConfig;
 use doram_dram::{DramTiming, PagePolicy};
+use doram_oram::verified::RecoveryPolicy;
+use doram_sim::fault::FaultPlan;
 use doram_sim::ConfigError;
 use doram_trace::Benchmark;
 
@@ -144,6 +146,14 @@ pub struct SystemConfig {
     pub sd_pipeline: bool,
     /// Hard cap on simulated memory cycles (safety net).
     pub max_mem_cycles: u64,
+    /// Deterministic fault plan for the untrusted-memory stack: when
+    /// non-zero, every serial link and the SD's DRAM reads draw faults
+    /// from it (seeded independently per site) and recover through
+    /// CRC/NAK retransmission and integrity re-fetch.
+    pub fault_plan: FaultPlan,
+    /// Integrity-recovery policy at the SD (re-fetch budget, quarantine
+    /// threshold).
+    pub recovery: RecoveryPolicy,
 }
 
 impl SystemConfig {
@@ -173,6 +183,8 @@ impl SystemConfig {
                 merge_split_reads: false,
                 sd_pipeline: false,
                 max_mem_cycles: 2_000_000_000,
+                fault_plan: FaultPlan::none(),
+                recovery: RecoveryPolicy::default(),
             },
         }
     }
@@ -216,6 +228,16 @@ impl SystemConfig {
                     self.scheme.ns_apps()
                 )));
             }
+        }
+        self.fault_plan.validate().map_err(|e| {
+            let detail = match &e {
+                doram_sim::SimError::Config(c) => c.message().to_string(),
+                other => other.to_string(),
+            };
+            ConfigError::new(format!("fault plan: {detail}"))
+        })?;
+        if self.recovery.quarantine_threshold == 0 {
+            return Err(ConfigError::new("quarantine threshold must be >= 1"));
         }
         Ok(())
     }
@@ -348,6 +370,18 @@ impl SystemConfigBuilder {
     /// Sets the simulated-cycle safety cap.
     pub fn max_mem_cycles(mut self, cap: u64) -> Self {
         self.cfg.max_mem_cycles = cap;
+        self
+    }
+
+    /// Installs a fault plan for the untrusted-memory stack.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Sets the SD's integrity-recovery policy.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.cfg.recovery = policy;
         self
     }
 

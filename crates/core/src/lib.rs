@@ -46,5 +46,6 @@ pub mod secure_channel;
 pub mod system;
 
 pub use config::{Scheme, SystemConfig, SystemConfigBuilder};
-pub use metrics::RunReport;
+pub use metrics::{FaultReport, RunReport};
+pub use secure_channel::SdFaultStats;
 pub use system::Simulation;

@@ -2,6 +2,7 @@
 
 use crate::config::Scheme;
 use doram_dram::EnergyBreakdown;
+use doram_sim::fault::FaultCounts;
 use doram_sim::stats::{geometric_mean, Histogram, RunningMean};
 use doram_trace::Benchmark;
 
@@ -16,6 +17,45 @@ pub struct OramSummary {
     pub access_latency: f64,
     /// Mean read-phase latency (memory cycles).
     pub read_phase_latency: f64,
+}
+
+/// Fault-injection and recovery activity of a run, aggregated over every
+/// serial link and the SD's integrity engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults injected, by kind (links + SD DRAM).
+    pub injected: FaultCounts,
+    /// Link frames retransmitted after a CRC error or timeout.
+    pub retransmissions: u64,
+    /// Frames that failed their CRC check (corrupt in transit).
+    pub crc_errors: u64,
+    /// Frames whose ACK timed out (dropped in transit).
+    pub timeouts: u64,
+    /// Extra memory cycles spent on link-level recovery (retry + backoff).
+    pub link_recovery_cycles: u64,
+    /// SD bucket reads whose MAC verification failed.
+    pub integrity_failures: u64,
+    /// SD bucket re-fetches issued to recover.
+    pub refetches: u64,
+    /// Memory cycles between integrity-failure detection and recovery.
+    pub sd_recovery_cycles: u64,
+    /// Secure sub-channels latched into fail-stop quarantine.
+    pub quarantined_subs: Vec<usize>,
+}
+
+impl FaultReport {
+    /// Whether any fault fired or any recovery ran.
+    pub fn any_activity(&self) -> bool {
+        self.injected.total() > 0
+            || self.retransmissions > 0
+            || self.integrity_failures > 0
+            || !self.quarantined_subs.is_empty()
+    }
+
+    /// Total recovery latency added by faults, in memory cycles.
+    pub fn total_recovery_cycles(&self) -> u64 {
+        self.link_recovery_cycles + self.sd_recovery_cycles
+    }
 }
 
 /// Everything measured in one simulation run.
@@ -51,6 +91,9 @@ pub struct RunReport {
     pub per_core_mlp: Vec<f64>,
     /// Total simulated memory cycles.
     pub total_mem_cycles: u64,
+    /// Fault-injection / recovery activity (schemes with serial links;
+    /// `None` where no link or SD exists to fault).
+    pub faults: Option<FaultReport>,
 }
 
 impl RunReport {
@@ -115,6 +158,7 @@ mod tests {
             channel_energy: vec![],
             per_core_mlp: vec![],
             total_mem_cycles: 0,
+            faults: None,
         }
     }
 

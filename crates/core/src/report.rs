@@ -138,6 +138,37 @@ pub fn report_json(r: &crate::metrics::RunReport) -> String {
         )),
         None => out.push_str("\"secure_link_bytes\":null,"),
     }
+    match &r.faults {
+        Some(fr) => {
+            let quarantined: Vec<String> =
+                fr.quarantined_subs.iter().map(|s| s.to_string()).collect();
+            out.push_str(&format!(
+                concat!(
+                    "\"faults\":{{",
+                    "\"injected\":{{\"corrupt_frames\":{},\"drop_frames\":{},",
+                    "\"delay_frames\":{},\"bit_flips\":{},\"forged_macs\":{}}},",
+                    "\"retransmissions\":{},\"crc_errors\":{},\"timeouts\":{},",
+                    "\"link_recovery_cycles\":{},\"integrity_failures\":{},",
+                    "\"refetches\":{},\"sd_recovery_cycles\":{},",
+                    "\"quarantined_subs\":[{}]}},"
+                ),
+                fr.injected.corrupt_frames,
+                fr.injected.drop_frames,
+                fr.injected.delay_frames,
+                fr.injected.bit_flips,
+                fr.injected.forged_macs,
+                fr.retransmissions,
+                fr.crc_errors,
+                fr.timeouts,
+                fr.link_recovery_cycles,
+                fr.integrity_failures,
+                fr.refetches,
+                fr.sd_recovery_cycles,
+                quarantined.join(","),
+            ));
+        }
+        None => out.push_str("\"faults\":null,"),
+    }
     out.push_str(&format!("\"total_energy_mj\":{:.6}", r.total_energy_mj()));
     out.push('}');
     out
@@ -212,6 +243,12 @@ mod tests {
             channel_energy: vec![],
             per_core_mlp: vec![],
             total_mem_cycles: 999,
+            faults: Some(crate::metrics::FaultReport {
+                retransmissions: 3,
+                integrity_failures: 2,
+                quarantined_subs: vec![1],
+                ..Default::default()
+            }),
         };
         let j = report_json(&r);
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -219,6 +256,9 @@ mod tests {
         assert!(j.contains("\"ns_exec_cpu_cycles\":[10,20]"));
         assert!(j.contains("\"oram\":null"));
         assert!(j.contains("\"secure_link_bytes\":[100,200]"));
+        assert!(j.contains("\"retransmissions\":3"));
+        assert!(j.contains("\"integrity_failures\":2"));
+        assert!(j.contains("\"quarantined_subs\":[1]"));
         // Balanced braces and quotes (cheap well-formedness proxy).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('"').count() % 2, 0);

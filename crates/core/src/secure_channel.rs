@@ -16,11 +16,14 @@
 use crate::onchip_oram::{BlockSink, FsmEvent, Issued, OramFsm, OramJob, OramStats};
 use crate::onchip_oram::ORAM_REGION_BASE;
 use doram_bob::packet::PacketKind;
-use doram_bob::{Link, LinkConfig};
+use doram_bob::{Link, LinkConfig, LinkStats};
+use doram_crypto::BucketIntegrity;
 use doram_dram::{Completion, MemOp, MemRequest, RequestClass, SubChannel, SubChannelConfig};
 use doram_oram::plan::{BlockRef, Placement, PlanConfig};
-use doram_sim::{AppId, MemCycle, RequestId, RequestIdGen};
-use std::collections::VecDeque;
+use doram_oram::verified::RecoveryPolicy;
+use doram_sim::fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan};
+use doram_sim::{AppId, MemCycle, RequestId, RequestIdGen, SimError};
+use std::collections::{HashMap, VecDeque};
 
 /// A split-level block operation forwarded through the CPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +152,180 @@ pub struct SecureChannelConfig {
     /// Let the buffered access's read phase overlap the current write
     /// phase (an extension; the paper's SD strictly serializes).
     pub sd_pipeline: bool,
+    /// System-wide fault plan. When non-zero it overrides the link's own
+    /// `error_rate_ppm` machinery and additionally faults the SD's DRAM
+    /// reads (bit flips, forged MACs) per its bit-flip/forge rates.
+    pub fault_plan: FaultPlan,
+    /// Integrity-recovery policy (re-fetch budget, quarantine threshold).
+    pub recovery: RecoveryPolicy,
+}
+
+/// Counters of the SD's bucket-integrity verification and recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SdFaultStats {
+    /// Bucket reads whose MAC verification failed.
+    pub integrity_failures: u64,
+    /// Re-fetches issued to recover from failed verifications.
+    pub refetches: u64,
+    /// Memory cycles spent between detecting a failure and recovering
+    /// the bucket (summed over all recoveries).
+    pub recovery_cycles: u64,
+    /// Sub-channels latched into fail-stop quarantine.
+    pub quarantined_subs: Vec<usize>,
+}
+
+/// Re-fetch bookkeeping for one in-flight recovery read.
+#[derive(Debug, Clone, Copy)]
+struct RefetchTicket {
+    /// The FSM-visible id of the original read.
+    orig: RequestId,
+    /// Cycle the first failed verification was detected.
+    detect: MemCycle,
+    /// Failed attempts so far (1 after the first detection).
+    attempts: u32,
+}
+
+/// What to do with a verified (or unverifiable) ORAM read completion.
+enum SdVerdict {
+    /// Hand the block to the FSM under this id.
+    Deliver(RequestId),
+    /// Re-read the bucket: enqueue this request on the same sub-channel.
+    Refetch(MemRequest),
+}
+
+/// The SD's bucket-integrity engine: a per-bucket CMAC tag store over a
+/// version-per-write payload model, an injector faulting reads in
+/// transit, and the bounded re-fetch / quarantine recovery policy.
+#[derive(Debug)]
+struct SdIntegrity {
+    integrity: BucketIntegrity,
+    /// Write counter per bucket address — the authenticated payload. A
+    /// timing simulation carries no data, so the version stands in for
+    /// the bucket contents: every write re-tags, every read re-verifies.
+    versions: HashMap<u64, u64>,
+    injector: FaultInjector,
+    policy: RecoveryPolicy,
+    /// Consecutive failed verifications per sub-channel.
+    consec: Vec<u32>,
+    quarantined: Vec<bool>,
+    integrity_failures: u64,
+    refetches: u64,
+    recovery_cycles: u64,
+    /// First fail-stop condition (quarantine or exhausted re-fetches).
+    fault: Option<SimError>,
+    /// Outstanding recovery reads: local id → ticket.
+    inflight: HashMap<RequestId, RefetchTicket>,
+}
+
+impl SdIntegrity {
+    fn new(plan: &FaultPlan, policy: RecoveryPolicy, seed: u64, n_subs: usize) -> SdIntegrity {
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        key[8..].copy_from_slice(&(seed ^ 0x5D_1234_5678).to_le_bytes());
+        SdIntegrity {
+            integrity: BucketIntegrity::new(key),
+            versions: HashMap::new(),
+            // Site 0x5D00: the SD's DRAM bus, distinct from link sites.
+            injector: plan.injector(0x5D00),
+            policy,
+            consec: vec![0; n_subs],
+            quarantined: vec![false; n_subs],
+            integrity_failures: 0,
+            refetches: 0,
+            recovery_cycles: 0,
+            fault: None,
+            inflight: HashMap::new(),
+        }
+    }
+
+    fn latch(&mut self, fault: SimError) {
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+
+    /// Processes one ORAM-class completion from sub-channel `sub`.
+    fn on_oram_completion(
+        &mut self,
+        sub: usize,
+        c: &Completion,
+        now: MemCycle,
+        ids: &mut RequestIdGen,
+    ) -> SdVerdict {
+        let ticket = self.inflight.remove(&c.request.id);
+        let orig = ticket.map_or(c.request.id, |t| t.orig);
+        if c.request.op == MemOp::Write {
+            // Every path write bumps the bucket version and re-tags it.
+            let v = self.versions.entry(c.request.addr).or_insert(0);
+            *v += 1;
+            let payload = v.to_le_bytes();
+            self.integrity.record(c.request.addr, &payload);
+            return SdVerdict::Deliver(orig);
+        }
+        if self.injector.is_disabled() || self.quarantined[sub] {
+            return SdVerdict::Deliver(orig);
+        }
+        let addr = c.request.addr;
+        let payload = self.versions.get(&addr).copied().unwrap_or(0).to_le_bytes();
+        // First sight of an unwritten bucket: adopt its tag, then hold
+        // every later read to it.
+        self.integrity.verify_or_adopt(addr, &payload);
+        let mut wire = payload.to_vec();
+        if self.injector.roll(FaultKind::BitFlip, now) {
+            self.injector.flip_bit(&mut wire);
+        }
+        let forged = self.injector.roll(FaultKind::ForgeMac, now);
+        if !forged && self.integrity.verify(addr, &wire) {
+            self.consec[sub] = 0;
+            if let Some(t) = ticket {
+                self.recovery_cycles += now.0 - t.detect.0;
+            }
+            return SdVerdict::Deliver(orig);
+        }
+
+        // Failed verification: recover, quarantine, or give up.
+        self.integrity_failures += 1;
+        self.consec[sub] += 1;
+        let (detect, attempts) = ticket.map_or((now, 1), |t| (t.detect, t.attempts + 1));
+        if self.consec[sub] >= self.policy.quarantine_threshold {
+            self.quarantined[sub] = true;
+            self.latch(SimError::fault(
+                format!("sd sub-channel {sub}"),
+                format!(
+                    "quarantined after {} consecutive integrity failures",
+                    self.consec[sub]
+                ),
+            ));
+            return SdVerdict::Deliver(orig);
+        }
+        if attempts > self.policy.refetch_limit {
+            self.latch(SimError::integrity(
+                addr,
+                format!("re-fetch budget ({}) exhausted", self.policy.refetch_limit),
+            ));
+            return SdVerdict::Deliver(orig);
+        }
+        self.refetches += 1;
+        let id = ids.next_id();
+        self.inflight.insert(id, RefetchTicket { orig, detect, attempts });
+        SdVerdict::Refetch(MemRequest {
+            id,
+            op: MemOp::Read,
+            arrival: now,
+            ..c.request
+        })
+    }
+
+    fn stats(&self) -> SdFaultStats {
+        SdFaultStats {
+            integrity_failures: self.integrity_failures,
+            refetches: self.refetches,
+            recovery_cycles: self.recovery_cycles,
+            quarantined_subs: (0..self.quarantined.len())
+                .filter(|&i| self.quarantined[i])
+                .collect(),
+        }
+    }
 }
 
 /// The secure channel with its embedded SD.
@@ -167,6 +344,10 @@ pub struct SecureChannel {
     /// Read-merging state: per normal channel (index 0 unused), the batch
     /// being accumulated this tick. `None` disables merging.
     merge_bufs: Option<Vec<SplitBatch>>,
+    /// Bucket-integrity verification and recovery.
+    sd_integrity: SdIntegrity,
+    /// Recovery reads waiting for sub-channel capacity: (sub, request).
+    pending_refetch: VecDeque<(usize, MemRequest)>,
 }
 
 impl SecureChannel {
@@ -183,8 +364,14 @@ impl SecureChannel {
             cfg.sub_channels.len(),
             "plan units must equal sub-channel count"
         );
+        let mut link = Link::new(cfg.link);
+        if !cfg.fault_plan.is_zero() {
+            // Site 0: the secure channel's serial link.
+            link.set_fault_plan(&cfg.fault_plan, 0);
+        }
+        let n_subs = cfg.sub_channels.len();
         SecureChannel {
-            link: Link::new(cfg.link),
+            link,
             subs: cfg.sub_channels.into_iter().map(SubChannel::new).collect(),
             // Queue of 2: the in-service access plus the one the SD
             // buffers behind an ongoing write phase (§III-B).
@@ -202,6 +389,8 @@ impl SecureChannel {
             merge_bufs: cfg
                 .merge_split_reads
                 .then(|| vec![SplitBatch::new(); 8]),
+            sd_integrity: SdIntegrity::new(&cfg.fault_plan, cfg.recovery, cfg.seed, n_subs),
+            pending_refetch: VecDeque::new(),
         }
     }
 
@@ -227,6 +416,31 @@ impl SecureChannel {
     /// Bytes moved over the serial link (to-mem, to-cpu).
     pub fn link_bytes(&self) -> (u64, u64) {
         self.link.bytes_sent()
+    }
+
+    /// Link error/recovery statistics (both directions merged).
+    pub fn link_stats(&self) -> LinkStats {
+        self.link.stats()
+    }
+
+    /// Faults injected so far: serial-link faults plus the SD's DRAM
+    /// bit-flip/forge faults.
+    pub fn fault_counts(&self) -> FaultCounts {
+        let mut total = self.link.fault_counts();
+        total.absorb(&self.sd_integrity.injector.counts());
+        total
+    }
+
+    /// Counters of the SD's integrity verification and recovery.
+    pub fn sd_fault_stats(&self) -> SdFaultStats {
+        self.sd_integrity.stats()
+    }
+
+    /// The first unrecovered fault on the channel: a quarantine /
+    /// exhausted integrity recovery at the SD, or an exhausted retry
+    /// budget on the link.
+    pub fn fault(&self) -> Option<&SimError> {
+        self.sd_integrity.fault.as_ref().or_else(|| self.link.fault())
     }
 
     /// Enables device-command tracing on every sub-channel.
@@ -263,7 +477,9 @@ impl SecureChannel {
         let msg = SecMsg::NsReq(req);
         self.link.send_to_mem(msg.wire_bytes(), msg).map_err(|m| match m {
             SecMsg::NsReq(r) => r,
-            _ => unreachable!(),
+            // The rejected message is the one just passed in; total match
+            // without panicking.
+            _ => req,
         })
     }
 
@@ -295,7 +511,8 @@ impl SecureChannel {
         let msg = SecMsg::SplitReadResp(fetch);
         self.link.send_to_mem(msg.wire_bytes(), msg).map_err(|m| match m {
             SecMsg::SplitReadResp(f) => f,
-            _ => unreachable!(),
+            // The rejected message is the one just passed in.
+            _ => fetch,
         })
     }
 
@@ -328,7 +545,11 @@ impl SecureChannel {
                 SecMsg::SplitReadResp(f) => {
                     self.fsm.on_block_complete(RequestId(f.tag));
                 }
-                _ => unreachable!("CPU-bound message arrived at SD"),
+                _ => {
+                    debug_assert!(false, "CPU-bound message arrived at SD");
+                    self.sd_integrity
+                        .latch(SimError::protocol("CPU-bound message arrived at SD"));
+                }
             }
         }
         for msg in at_cpu {
@@ -341,7 +562,11 @@ impl SecureChannel {
                 SecMsg::SplitReadReq(f) => split_reads.push(f),
                 SecMsg::SplitReadBatch(batch) => split_reads.extend(batch.fetches()),
                 SecMsg::SplitWrite(f) => split_writes.push(f),
-                _ => unreachable!("SD-bound message arrived at CPU"),
+                _ => {
+                    debug_assert!(false, "SD-bound message arrived at CPU");
+                    self.sd_integrity
+                        .latch(SimError::protocol("SD-bound message arrived at CPU"));
+                }
             }
         }
 
@@ -391,18 +616,37 @@ impl SecureChannel {
             }
         }
 
-        // 4. DRAM sub-channels.
-        self.scratch.clear();
-        for sub in self.subs.iter_mut() {
-            sub.tick(now, &mut self.scratch);
+        // 4. DRAM sub-channels. ORAM read completions pass through the
+        // integrity engine: a failed MAC check re-fetches the bucket from
+        // the same sub-channel instead of notifying the FSM, so recovery
+        // latency shows up as ordinary access latency.
+        while let Some(&(si, req)) = self.pending_refetch.front() {
+            match self.subs[si].enqueue(req) {
+                Ok(()) => {
+                    self.pending_refetch.pop_front();
+                }
+                Err(_) => break,
+            }
         }
-        for c in self.scratch.drain(..) {
-            if c.request.class == RequestClass::Oram {
-                self.fsm.on_block_complete(c.request.id);
-            } else {
-                match c.request.op {
-                    MemOp::Read => self.resp_pending.push_back(c),
-                    MemOp::Write => ns_completed.push(c),
+        for si in 0..self.subs.len() {
+            self.scratch.clear();
+            self.subs[si].tick(now, &mut self.scratch);
+            for c in self.scratch.drain(..) {
+                if c.request.class == RequestClass::Oram {
+                    match self
+                        .sd_integrity
+                        .on_oram_completion(si, &c, now, &mut self.local_ids)
+                    {
+                        SdVerdict::Deliver(id) => {
+                            self.fsm.on_block_complete(id);
+                        }
+                        SdVerdict::Refetch(req) => self.pending_refetch.push_back((si, req)),
+                    }
+                } else {
+                    match c.request.op {
+                        MemOp::Read => self.resp_pending.push_back(c),
+                        MemOp::Write => ns_completed.push(c),
+                    }
                 }
             }
         }
@@ -513,6 +757,8 @@ mod tests {
             seed: 5,
             merge_split_reads: false,
             sd_pipeline: false,
+            fault_plan: FaultPlan::none(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -684,6 +930,68 @@ mod tests {
             merged_up < plain_up,
             "merged {merged_up} vs plain {plain_up} CPU-bound bytes"
         );
+    }
+
+    #[test]
+    fn faulty_dram_reads_recover_through_refetch() {
+        use doram_sim::fault::FaultRates;
+        let run_faulty = || {
+            let mut ch = SecureChannel::new(SecureChannelConfig {
+                // 2% of SD bucket reads see a bit flip, 0.5% a forged MAC.
+                fault_plan: FaultPlan::with_rates(
+                    13,
+                    FaultRates {
+                        bitflip_ppm: 20_000,
+                        forge_mac_ppm: 5_000,
+                        ..FaultRates::none()
+                    },
+                ),
+                ..cfg(0)
+            });
+            // Closed loop: the protocol buffers at most one request behind
+            // the in-flight access, so issue the next job only once the
+            // previous response has crossed the link.
+            let mut out = Out {
+                ns: vec![],
+                resp: vec![],
+                sr: vec![],
+                sw: vec![],
+            };
+            let mut sent = 1usize;
+            ch.send_secure(OramJob::Dummy);
+            for c in 0..60_000u64 {
+                ch.tick(MemCycle(c), &mut out.ns, &mut out.resp, &mut out.sr, &mut out.sw);
+                if out.resp.len() == sent && sent < 8 {
+                    ch.send_secure(OramJob::Dummy);
+                    sent += 1;
+                }
+            }
+            assert_eq!(out.resp.len(), 8, "all accesses completed despite faults");
+            ch
+        };
+        let ch = run_faulty();
+        let stats = ch.sd_fault_stats();
+        assert!(stats.integrity_failures > 0, "faults must have fired");
+        assert!(stats.refetches > 0, "recovery must have re-fetched");
+        assert!(stats.recovery_cycles > 0, "recovery costs latency");
+        assert!(stats.quarantined_subs.is_empty(), "rates stay sub-threshold");
+        assert!(ch.fault().is_none());
+        assert!(ch.fault_counts().bit_flips > 0);
+        // Same seed ⇒ identical fault schedule and recovery accounting.
+        let again = run_faulty();
+        assert_eq!(again.sd_fault_stats(), stats);
+        assert_eq!(again.fault_counts(), ch.fault_counts());
+    }
+
+    #[test]
+    fn clean_run_verifies_nothing_and_counts_nothing() {
+        let mut ch = SecureChannel::new(cfg(0));
+        ch.send_secure(OramJob::Dummy);
+        run(&mut ch, 5_000);
+        let stats = ch.sd_fault_stats();
+        assert_eq!(stats, SdFaultStats::default());
+        assert_eq!(ch.fault_counts(), FaultCounts::default());
+        assert_eq!(ch.link_stats().retransmissions, 0);
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub enum SimError {
         /// First violation's description.
         detail: String,
     },
+    /// Fault recovery was exhausted: a link retry budget ran out, or the
+    /// SD quarantined a sub-channel after persistent integrity failures.
+    /// Fail-stop is the correct response to untrusted memory that keeps
+    /// tampering — continuing would leak through degraded behaviour.
+    IntegrityFailStop {
+        /// The latched fault's description.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -49,6 +57,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::JedecViolation { sub_channel, detail } => {
                 write!(f, "JEDEC violation on sub-channel {sub_channel}: {detail}")
+            }
+            SimError::IntegrityFailStop { detail } => {
+                write!(f, "fault recovery exhausted (fail-stop): {detail}")
             }
         }
     }
@@ -379,9 +390,17 @@ impl Simulation {
                     seed: cfg.seed ^ 0x0A0A,
                     merge_split_reads: cfg.merge_split_reads,
                     sd_pipeline: cfg.sd_pipeline,
+                    fault_plan: cfg.fault_plan.clone(),
+                    recovery: cfg.recovery,
                 });
+                let mut normals = ChannelFabric::bob(cfg.channels - 1, cfg.link, &sub_cfg);
+                if !cfg.fault_plan.is_zero() {
+                    // Link sites: 0 is the secure channel; normal channel
+                    // links start at 1.
+                    normals.set_fault_plan(&cfg.fault_plan, 1);
+                }
                 Backend::DOram {
-                    normals: ChannelFabric::bob(cfg.channels - 1, cfg.link, &sub_cfg),
+                    normals,
                     secure: Box::new(secure),
                     engine: CpuEngine::new(cfg.dummy_interval_cpu, 4),
                     split_fwd: HashMap::new(),
@@ -558,6 +577,18 @@ impl Simulation {
             }
             m += 1;
         }
+        // Escalate exhausted fault recovery: a latched link or integrity
+        // fail-stop means the run's results cannot be trusted.
+        if let Backend::DOram {
+            normals, secure, ..
+        } = &self.mem.backend
+        {
+            if let Some(fault) = secure.fault().or_else(|| normals.fault()) {
+                return Err(SimError::IntegrityFailStop {
+                    detail: fault.to_string(),
+                });
+            }
+        }
         let traces = if collect_traces {
             match &mut self.mem.backend {
                 Backend::Plain { fabric }
@@ -599,7 +630,7 @@ impl Simulation {
             .and_then(|c| c.first_finish_cpu);
 
         let energy_params = doram_dram::EnergyParams::ddr3_1600();
-        let (channel_utilization, channel_row_hit, oram, secure_link_bytes, channel_energy) =
+        let (channel_utilization, channel_row_hit, oram, secure_link_bytes, channel_energy, faults) =
             match &self.mem.backend {
                 Backend::Plain { fabric } => (
                     (0..fabric.len()).map(|i| fabric.channel(i).bus_utilization()).collect(),
@@ -607,6 +638,7 @@ impl Simulation {
                     None,
                     None,
                     (0..fabric.len()).map(|i| fabric.channel(i).energy(&energy_params)).collect(),
+                    None,
                 ),
                 Backend::BaselineOram { fabric, fsm, .. } => (
                     (0..fabric.len()).map(|i| fabric.channel(i).bus_utilization()).collect(),
@@ -614,6 +646,7 @@ impl Simulation {
                     Some(summarize(fsm.stats())),
                     None,
                     (0..fabric.len()).map(|i| fabric.channel(i).energy(&energy_params)).collect(),
+                    None,
                 ),
                 Backend::SecMem { fabric, .. } => (
                     (0..fabric.len()).map(|i| fabric.channel(i).bus_utilization()).collect(),
@@ -621,6 +654,7 @@ impl Simulation {
                     None,
                     None,
                     (0..fabric.len()).map(|i| fabric.channel(i).energy(&energy_params)).collect(),
+                    None,
                 ),
                 Backend::DOram {
                     normals, secure, ..
@@ -648,6 +682,7 @@ impl Simulation {
                         Some(summarize(secure.oram_stats())),
                         Some(secure.link_bytes()),
                         energy,
+                        Some(fault_report(secure, normals)),
                     )
                 }
             };
@@ -673,7 +708,29 @@ impl Simulation {
             channel_energy,
             per_core_mlp,
             total_mem_cycles,
+            faults,
         }
+    }
+}
+
+/// Aggregates fault and recovery counters over the secure channel and
+/// every normal channel's link.
+fn fault_report(secure: &SecureChannel, normals: &ChannelFabric) -> crate::metrics::FaultReport {
+    let mut injected = secure.fault_counts();
+    injected.absorb(&normals.fault_counts());
+    let mut link = secure.link_stats();
+    link.absorb(&normals.link_stats());
+    let sd = secure.sd_fault_stats();
+    crate::metrics::FaultReport {
+        injected,
+        retransmissions: link.retransmissions,
+        crc_errors: link.crc_errors,
+        timeouts: link.timeouts,
+        link_recovery_cycles: link.recovery_cycles,
+        integrity_failures: sd.integrity_failures,
+        refetches: sd.refetches,
+        sd_recovery_cycles: sd.recovery_cycles,
+        quarantined_subs: sd.quarantined_subs,
     }
 }
 
@@ -1045,6 +1102,85 @@ mod tests {
             .ns_benchmarks(vec![Benchmark::Libq; 3])
             .build();
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn faulty_doram_run_recovers_with_only_latency_cost() {
+        use doram_sim::fault::{FaultPlan, FaultRates};
+        // error_rate_ppm = 500 on the links plus DRAM bit flips at the SD
+        // — the acceptance scenario: the run completes, fault counters are
+        // nonzero, recovery latency is broken out, and the workload's
+        // completion profile matches the fault-free run (recovery hides
+        // faults from correctness, costing only cycles).
+        let run = |plan: FaultPlan| {
+            let cfg = SystemConfig::builder(Benchmark::Libq)
+                .scheme(Scheme::DOram { k: 0, c: 7 })
+                .ns_accesses(400)
+                .tree_l_max(12)
+                .max_mem_cycles(50_000_000)
+                .fault_plan(plan)
+                .build()
+                .unwrap();
+            Simulation::new(cfg).unwrap().run().unwrap()
+        };
+        let clean = run(FaultPlan::none());
+        let faulty_plan = FaultPlan::with_rates(
+            42,
+            FaultRates {
+                corrupt_ppm: 500,
+                drop_ppm: 200,
+                bitflip_ppm: 2_000,
+                forge_mac_ppm: 500,
+                ..FaultRates::none()
+            },
+        );
+        let faulty = run(faulty_plan.clone());
+        let fr = faulty.faults.as_ref().expect("D-ORAM reports faults");
+        assert!(fr.any_activity(), "faults must have fired: {fr:?}");
+        assert!(fr.injected.total() > 0);
+        assert!(fr.total_recovery_cycles() > 0, "recovery costs latency");
+        assert!(fr.quarantined_subs.is_empty(), "rates stay sub-threshold");
+        // The clean run reports an all-zero fault block.
+        let cr = clean.faults.as_ref().expect("fault block present");
+        assert!(!cr.any_activity(), "no faults without a plan: {cr:?}");
+        // Same work got done either way (same accesses, same ORAM protocol
+        // work); the runs differ only in time.
+        assert_eq!(faulty.ns_exec_cpu_cycles.len(), clean.ns_exec_cpu_cycles.len());
+        let co = clean.oram.as_ref().unwrap();
+        let fo = faulty.oram.as_ref().unwrap();
+        assert!(fo.real_accesses > 0);
+        // Same seed ⇒ same deterministic fault schedule.
+        let again = run(faulty_plan);
+        let fr2 = again.faults.as_ref().unwrap();
+        assert_eq!(fr2, fr, "fault schedule must be reproducible");
+        assert_eq!(again.ns_exec_cpu_cycles, faulty.ns_exec_cpu_cycles);
+        assert!(co.access_latency > 0.0 && fo.access_latency > 0.0);
+    }
+
+    #[test]
+    fn hostile_memory_fail_stops_the_run() {
+        use doram_sim::fault::{FaultPlan, FaultRates};
+        // Forge every MAC at the SD: recovery cannot converge and the run
+        // must end in IntegrityFailStop rather than report results.
+        let cfg = SystemConfig::builder(Benchmark::Libq)
+            .scheme(Scheme::DOram { k: 0, c: 7 })
+            .ns_accesses(400)
+            .tree_l_max(12)
+            .max_mem_cycles(50_000_000)
+            .fault_plan(FaultPlan::with_rates(
+                7,
+                FaultRates {
+                    forge_mac_ppm: 1_000_000,
+                    ..FaultRates::none()
+                },
+            ))
+            .build()
+            .unwrap();
+        let err = Simulation::new(cfg).unwrap().run().unwrap_err();
+        assert!(
+            matches!(err, SimError::IntegrityFailStop { .. }),
+            "expected fail-stop, got {err:?}"
+        );
     }
 
     #[test]

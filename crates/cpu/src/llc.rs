@@ -171,17 +171,23 @@ impl Llc {
 
     /// Sanity check used by property tests: no set exceeds associativity
     /// and no duplicate tags exist within a set.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), doram_sim::SimError> {
         for (i, set) in self.sets.iter().enumerate() {
             if set.len() > self.ways {
-                return Err(format!("set {i} holds {} lines > {} ways", set.len(), self.ways));
+                return Err(doram_sim::SimError::protocol(format!(
+                    "set {i} holds {} lines > {} ways",
+                    set.len(),
+                    self.ways
+                )));
             }
             let mut tags: Vec<_> = set.iter().map(|l| l.tag).collect();
             tags.sort_unstable();
             let before = tags.len();
             tags.dedup();
             if tags.len() != before {
-                return Err(format!("set {i} has duplicate tags"));
+                return Err(doram_sim::SimError::protocol(format!(
+                    "set {i} has duplicate tags"
+                )));
             }
         }
         Ok(())

@@ -165,6 +165,89 @@ impl MerkleTree {
     }
 }
 
+/// A sparse, lazily populated per-bucket authentication-tag store.
+///
+/// The dense [`MerkleTree`] is right for small metadata regions, but an
+/// L=23 Path ORAM tree has 2^24 buckets — far too many to hash eagerly.
+/// The Secure Delegator instead keeps one CMAC tag per *touched* bucket:
+/// a bucket's tag is recorded on write-back and checked on every path
+/// read, which is exactly the integrity guarantee the SD needs (the
+/// position map and stash are on-chip and trusted; only DRAM contents can
+/// be tampered with).
+///
+/// Tags are domain-separated from both Merkle node kinds and bound to the
+/// bucket address, so a valid (payload, tag) pair for bucket A cannot be
+/// replayed at bucket B.
+///
+/// # Examples
+///
+/// ```
+/// use doram_crypto::integrity::BucketIntegrity;
+/// let mut store = BucketIntegrity::new([7; 16]);
+/// store.record(42, b"bucket payload");
+/// assert!(store.verify(42, b"bucket payload"));
+/// assert!(!store.verify(42, b"tampered payload"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BucketIntegrity {
+    mac: Cmac,
+    tags: std::collections::HashMap<u64, Digest>,
+}
+
+impl BucketIntegrity {
+    /// Creates an empty store keyed with `key`.
+    pub fn new(key: [u8; 16]) -> BucketIntegrity {
+        BucketIntegrity {
+            mac: Cmac::new(key),
+            tags: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The address-bound tag for a bucket payload.
+    fn tag(&self, addr: u64, payload: &[u8]) -> Digest {
+        let mut msg = Vec::with_capacity(9 + payload.len());
+        msg.push(0x02); // domain separation: bucket tag
+        msg.extend_from_slice(&addr.to_le_bytes());
+        msg.extend_from_slice(payload);
+        self.mac.full_tag(&msg)
+    }
+
+    /// Records the authentic contents of bucket `addr` (called on every
+    /// ORAM write-back).
+    pub fn record(&mut self, addr: u64, payload: &[u8]) {
+        let tag = self.tag(addr, payload);
+        self.tags.insert(addr, tag);
+    }
+
+    /// Whether `payload` matches the recorded tag for `addr`. A bucket
+    /// that was never recorded fails — reads of untracked buckets should
+    /// use [`BucketIntegrity::verify_or_adopt`].
+    pub fn verify(&self, addr: u64, payload: &[u8]) -> bool {
+        self.tags
+            .get(&addr)
+            .is_some_and(|t| *t == self.tag(addr, payload))
+    }
+
+    /// Verifies `payload` against the recorded tag, adopting it as
+    /// authentic if this is the first time `addr` is seen. Models the
+    /// initialization handshake: the first fetch of an untouched bucket
+    /// (all-dummy contents, written during tree setup) defines its tag.
+    pub fn verify_or_adopt(&mut self, addr: u64, payload: &[u8]) -> bool {
+        let tag = self.tag(addr, payload);
+        *self.tags.entry(addr).or_insert(tag) == tag
+    }
+
+    /// Whether `addr` has a recorded tag.
+    pub fn is_tracked(&self, addr: u64) -> bool {
+        self.tags.contains_key(&addr)
+    }
+
+    /// Number of buckets currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.tags.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +328,45 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_leaf_panics() {
         MerkleTree::new(2, [0; 16]).prove(4);
+    }
+
+    #[test]
+    fn bucket_store_detects_tampering() {
+        let mut store = BucketIntegrity::new([8; 16]);
+        store.record(5, b"authentic");
+        assert!(store.verify(5, b"authentic"));
+        assert!(!store.verify(5, b"authentiC"), "bit flip detected");
+        assert!(!store.verify(6, b"authentic"), "untracked bucket fails");
+    }
+
+    #[test]
+    fn bucket_store_rejects_replay_and_relocation() {
+        let mut store = BucketIntegrity::new([9; 16]);
+        store.record(1, b"v1");
+        store.record(2, b"other");
+        store.record(1, b"v2");
+        assert!(!store.verify(1, b"v1"), "stale contents are replay");
+        assert!(store.verify(1, b"v2"));
+        // A valid payload for bucket 2 cannot be replayed at bucket 1.
+        assert!(!store.verify(1, b"other"));
+    }
+
+    #[test]
+    fn adopt_on_first_sight_then_enforce() {
+        let mut store = BucketIntegrity::new([10; 16]);
+        assert!(store.verify_or_adopt(7, b"initial dummy"), "first sight adopts");
+        assert!(store.is_tracked(7));
+        assert!(store.verify_or_adopt(7, b"initial dummy"));
+        assert!(!store.verify_or_adopt(7, b"forged"), "later tampering fails");
+        assert_eq!(store.tracked(), 1);
+    }
+
+    #[test]
+    fn bucket_store_is_sparse() {
+        let mut store = BucketIntegrity::new([11; 16]);
+        // Addresses far beyond any dense tree's reach are fine.
+        store.record(1 << 60, b"far");
+        assert!(store.verify(1 << 60, b"far"));
+        assert_eq!(store.tracked(), 1);
     }
 }

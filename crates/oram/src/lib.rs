@@ -23,6 +23,9 @@
 //!   Table I) and its space/message accounting;
 //! * [`recursive`] — a recursive position map (extension; the paper's SD
 //!   holds the map flat);
+//! * [`verified`] — Path ORAM over untrusted, MAC-verified memory with
+//!   fault injection and bounded re-fetch recovery (the SD's threat
+//!   model made functional);
 //! * [`plan`] — the access planner used by timing simulations: which
 //!   physical blocks, on which channel/sub-channel, a given access touches
 //!   in its read and write phases.
@@ -46,6 +49,7 @@ pub mod recursive;
 pub mod split;
 pub mod stash;
 pub mod tree;
+pub mod verified;
 
 pub use layout::{SubtreeLayout, TreeTopCache};
 pub use metrics::OccupancyProfile;
@@ -56,3 +60,4 @@ pub use recursive::{RecursiveOram, RecursivePosMap};
 pub use split::{SplitConfig, SplitAccounting};
 pub use stash::Stash;
 pub use tree::TreeGeometry;
+pub use verified::{RecoveryPolicy, RecoveryStats, VerifiedOram};

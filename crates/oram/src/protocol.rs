@@ -10,6 +10,7 @@
 use crate::position::PositionMap;
 use crate::stash::Stash;
 use crate::tree::TreeGeometry;
+use doram_sim::SimError;
 use std::collections::HashMap;
 
 /// A stored block: `(logical id, assigned leaf, value)`.
@@ -170,35 +171,60 @@ impl<V: Clone> PathOram<V> {
         old
     }
 
+    /// A sorted snapshot of every resident block's `(id, value)`, stash
+    /// and tree together — the ORAM's logical contents. Two runs that end
+    /// in the same logical state produce equal snapshots, which is how the
+    /// fault-recovery tests assert bit-identical contents.
+    pub fn snapshot(&self) -> Vec<(u64, V)> {
+        let mut out: Vec<(u64, V)> = self
+            .buckets
+            .values()
+            .flatten()
+            .map(|(b, _, v)| (*b, v.clone()))
+            .chain(self.stash.iter().filter_map(|(b, _)| {
+                self.stash.get(b).map(|(_, v)| (b, v.clone()))
+            }))
+            .collect();
+        out.sort_by_key(|&(b, _)| b);
+        out
+    }
+
     /// Verifies the Path ORAM invariant: every resident block lies on the
     /// path to its assigned leaf, no bucket exceeds Z, and no block is
     /// duplicated between tree and stash.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violation found.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// Returns [`SimError::Protocol`] describing the first violation found.
+    pub fn check_invariants(&self) -> Result<(), SimError> {
         let mut seen = HashMap::new();
         for (&bucket, resident) in &self.buckets {
             if resident.len() > self.geometry.z as usize {
-                return Err(format!("bucket {bucket} holds {} > Z", resident.len()));
+                return Err(SimError::protocol(format!(
+                    "bucket {bucket} holds {} > Z",
+                    resident.len()
+                )));
             }
             let level = self.geometry.level_of(bucket);
             for (b, leaf, _) in resident {
                 if self.geometry.bucket_on_path(*leaf, level) != bucket {
-                    return Err(format!("block {b} off-path in bucket {bucket}"));
+                    return Err(SimError::protocol(format!(
+                        "block {b} off-path in bucket {bucket}"
+                    )));
                 }
                 if seen.insert(*b, bucket).is_some() {
-                    return Err(format!("block {b} duplicated"));
+                    return Err(SimError::protocol(format!("block {b} duplicated")));
                 }
                 if self.posmap.get(*b) != Some(*leaf) {
-                    return Err(format!("block {b} leaf tag stale"));
+                    return Err(SimError::protocol(format!("block {b} leaf tag stale")));
                 }
             }
         }
         for (b, _) in self.stash.iter() {
             if seen.insert(b, u64::MAX).is_some() {
-                return Err(format!("block {b} in both tree and stash"));
+                return Err(SimError::protocol(format!(
+                    "block {b} in both tree and stash"
+                )));
             }
         }
         Ok(())

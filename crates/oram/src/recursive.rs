@@ -15,6 +15,7 @@
 
 use crate::protocol::PathOram;
 use doram_sim::rng::Xoshiro256;
+use doram_sim::SimError;
 
 /// Entries (leaf labels) packed into one position-map block.
 const ENTRIES_PER_BLOCK: u64 = 8;
@@ -162,11 +163,11 @@ impl RecursivePosMap {
     /// # Errors
     ///
     /// Returns the first violation.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), SimError> {
         for (i, l) in self.levels.iter().enumerate() {
             l.oram
                 .check_invariants()
-                .map_err(|e| format!("level {i}: {e}"))?;
+                .map_err(|e| SimError::protocol(format!("level {i}: {e}")))?;
         }
         Ok(())
     }
@@ -212,7 +213,7 @@ impl<V: Clone> RecursiveOram<V> {
     /// # Errors
     ///
     /// Returns the first violation.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), SimError> {
         self.data.check_invariants()?;
         self.posmap.check_invariants()
     }

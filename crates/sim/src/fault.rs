@@ -1,0 +1,456 @@
+//! Deterministic, seeded fault injection.
+//!
+//! D-ORAM's threat model assumes *untrusted* memory: the BOB serial link,
+//! the Secure Delegator's DRAM, and everything between them may corrupt,
+//! drop, or delay data — or actively forge MACs. This module provides the
+//! workspace-wide fault schedule used to exercise those scenarios:
+//!
+//! * [`FaultRates`] — per-million probabilities for each [`FaultKind`],
+//! * [`FaultWindow`] — a scheduled burst overriding the base rates during a
+//!   cycle interval (e.g. a noisy-neighbor window or a targeted attack),
+//! * [`FaultPlan`] — seed + base rates + windows; the single value threaded
+//!   through `LinkConfig`/`SecureChannelConfig`/`SystemConfig`,
+//! * [`FaultInjector`] — a per-site roller with an independent RNG stream
+//!   derived from the plan seed, so the same seed always produces the same
+//!   fault schedule regardless of how other subsystems consume randomness.
+//!
+//! Determinism contract: an injector's decisions depend only on
+//! `(plan.seed, site, sequence of rolls)`. Zero-rate rolls consume no
+//! randomness, so a plan with all-zero rates behaves bit-identically to no
+//! plan at all.
+
+use crate::clock::MemCycle;
+use crate::error::SimError;
+use crate::rng::Xoshiro256;
+
+/// Salt mixed into the plan seed so injector streams never collide with the
+/// trace/ORAM RNG streams derived from the same experiment seed.
+const FAULT_STREAM_SALT: u64 = 0xFA17_FA17_FA17_FA17;
+
+/// The kinds of fault the subsystem can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A link frame arrives with a bad CRC and must be retransmitted.
+    CorruptFrame,
+    /// A link frame vanishes entirely; the sender times out and resends.
+    DropFrame,
+    /// A link frame is held up by a configurable number of memory cycles.
+    DelayFrame,
+    /// A bit flips in a DRAM bucket payload, detectable by its MAC.
+    BitFlip,
+    /// An adversary substitutes a forged MAC (always detected; CMAC forgery
+    /// without the key does not succeed in this model).
+    ForgeMac,
+}
+
+/// All fault kinds, in a fixed reporting order.
+pub const FAULT_KINDS: [FaultKind; 5] = [
+    FaultKind::CorruptFrame,
+    FaultKind::DropFrame,
+    FaultKind::DelayFrame,
+    FaultKind::BitFlip,
+    FaultKind::ForgeMac,
+];
+
+impl FaultKind {
+    /// Stable lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::CorruptFrame => "corrupt_frame",
+            FaultKind::DropFrame => "drop_frame",
+            FaultKind::DelayFrame => "delay_frame",
+            FaultKind::BitFlip => "bit_flip",
+            FaultKind::ForgeMac => "forge_mac",
+        }
+    }
+}
+
+/// Per-million injection rates, one per [`FaultKind`], plus the delay depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultRates {
+    /// Link frame corruption rate (parts per million per frame).
+    pub corrupt_ppm: u32,
+    /// Link frame drop rate (ppm per frame).
+    pub drop_ppm: u32,
+    /// Link frame delay rate (ppm per frame).
+    pub delay_ppm: u32,
+    /// DRAM payload bit-flip rate (ppm per bucket read).
+    pub bitflip_ppm: u32,
+    /// MAC forgery rate (ppm per bucket read).
+    pub forge_mac_ppm: u32,
+    /// Extra memory cycles a delayed frame is held (when a delay fires).
+    pub delay_cycles: u64,
+}
+
+impl FaultRates {
+    /// All-zero rates: injects nothing.
+    pub const fn none() -> FaultRates {
+        FaultRates {
+            corrupt_ppm: 0,
+            drop_ppm: 0,
+            delay_ppm: 0,
+            bitflip_ppm: 0,
+            forge_mac_ppm: 0,
+            delay_cycles: 0,
+        }
+    }
+
+    /// True when no fault kind can ever fire.
+    pub fn is_zero(&self) -> bool {
+        self.corrupt_ppm == 0
+            && self.drop_ppm == 0
+            && self.delay_ppm == 0
+            && self.bitflip_ppm == 0
+            && self.forge_mac_ppm == 0
+    }
+
+    /// The rate for one fault kind.
+    pub fn rate(&self, kind: FaultKind) -> u32 {
+        match kind {
+            FaultKind::CorruptFrame => self.corrupt_ppm,
+            FaultKind::DropFrame => self.drop_ppm,
+            FaultKind::DelayFrame => self.delay_ppm,
+            FaultKind::BitFlip => self.bitflip_ppm,
+            FaultKind::ForgeMac => self.forge_mac_ppm,
+        }
+    }
+
+    /// Rejects rates above one million ppm.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for kind in FAULT_KINDS {
+            let ppm = self.rate(kind);
+            if ppm > 1_000_000 {
+                return Err(SimError::config(format!(
+                    "fault rate {} = {ppm} ppm exceeds 1_000_000",
+                    kind.label()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A scheduled burst: between `start` (inclusive) and `end` (exclusive) the
+/// window's rates replace the plan's base rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First memory cycle the window covers.
+    pub start: MemCycle,
+    /// First memory cycle after the window.
+    pub end: MemCycle,
+    /// Rates in effect inside the window.
+    pub rates: FaultRates,
+}
+
+impl FaultWindow {
+    /// True when `now` falls inside the window.
+    pub fn contains(&self, now: MemCycle) -> bool {
+        self.start.0 <= now.0 && now.0 < self.end.0
+    }
+}
+
+/// The complete, deterministic fault schedule for a run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for all injector RNG streams. Same seed ⇒ same fault schedule.
+    pub seed: u64,
+    /// Rates in effect outside every window.
+    pub base: FaultRates,
+    /// Scheduled bursts. The *last* window containing a cycle wins.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan with uniform base rates and no windows.
+    pub fn with_rates(seed: u64, base: FaultRates) -> FaultPlan {
+        FaultPlan {
+            seed,
+            base,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Builder-style: appends a scheduled window.
+    pub fn window(mut self, window: FaultWindow) -> FaultPlan {
+        self.windows.push(window);
+        self
+    }
+
+    /// True when neither the base rates nor any window can fire.
+    pub fn is_zero(&self) -> bool {
+        self.base.is_zero() && self.windows.iter().all(|w| w.rates.is_zero())
+    }
+
+    /// The rates in effect at `now`: the last containing window, else base.
+    pub fn rates_at(&self, now: MemCycle) -> FaultRates {
+        self.windows
+            .iter()
+            .rev()
+            .find(|w| w.contains(now))
+            .map(|w| w.rates)
+            .unwrap_or(self.base)
+    }
+
+    /// Validates base and window rates, and window bounds.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.base.validate()?;
+        for w in &self.windows {
+            w.rates.validate()?;
+            if w.start.0 >= w.end.0 {
+                return Err(SimError::config(format!(
+                    "fault window [{}, {}) is empty",
+                    w.start.0, w.end.0
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates the injector for one site (a link direction, a sub-channel…).
+    ///
+    /// Distinct sites get independent RNG streams from the same seed, so the
+    /// schedule at one site is unaffected by traffic at another.
+    pub fn injector(&self, site: u64) -> FaultInjector {
+        FaultInjector {
+            plan: self.clone(),
+            rng: Xoshiro256::stream(self.seed ^ FAULT_STREAM_SALT, site),
+            counts: FaultCounts::default(),
+        }
+    }
+}
+
+/// Running totals of injected faults, by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounts {
+    /// Link frames corrupted.
+    pub corrupt_frames: u64,
+    /// Link frames dropped.
+    pub drop_frames: u64,
+    /// Link frames delayed.
+    pub delay_frames: u64,
+    /// DRAM payload bit flips.
+    pub bit_flips: u64,
+    /// Forged MACs substituted.
+    pub forged_macs: u64,
+}
+
+impl FaultCounts {
+    /// Total faults across all kinds.
+    pub fn total(&self) -> u64 {
+        self.corrupt_frames
+            + self.drop_frames
+            + self.delay_frames
+            + self.bit_flips
+            + self.forged_macs
+    }
+
+    /// Adds another counter set into this one (for per-site aggregation).
+    pub fn absorb(&mut self, other: &FaultCounts) {
+        self.corrupt_frames += other.corrupt_frames;
+        self.drop_frames += other.drop_frames;
+        self.delay_frames += other.delay_frames;
+        self.bit_flips += other.bit_flips;
+        self.forged_macs += other.forged_macs;
+    }
+
+    fn bump(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::CorruptFrame => self.corrupt_frames += 1,
+            FaultKind::DropFrame => self.drop_frames += 1,
+            FaultKind::DelayFrame => self.delay_frames += 1,
+            FaultKind::BitFlip => self.bit_flips += 1,
+            FaultKind::ForgeMac => self.forged_macs += 1,
+        }
+    }
+}
+
+/// A per-site fault roller with its own RNG stream and counters.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Xoshiro256,
+    counts: FaultCounts,
+}
+
+impl FaultInjector {
+    /// An injector that never fires (for sites with no plan).
+    pub fn disabled() -> FaultInjector {
+        FaultPlan::none().injector(0)
+    }
+
+    /// Rolls whether a fault of `kind` fires at `now`, bumping counters on a
+    /// hit. A zero rate consumes no randomness.
+    pub fn roll(&mut self, kind: FaultKind, now: MemCycle) -> bool {
+        let ppm = self.plan.rates_at(now).rate(kind);
+        if ppm == 0 {
+            return false;
+        }
+        let hit = self.rng.gen_below(1_000_000) < ppm as u64;
+        if hit {
+            self.counts.bump(kind);
+        }
+        hit
+    }
+
+    /// The configured delay depth at `now` (memory cycles).
+    pub fn delay_cycles(&self, now: MemCycle) -> u64 {
+        self.plan.rates_at(now).delay_cycles
+    }
+
+    /// Flips one uniformly chosen bit of `payload` (no-op when empty).
+    /// Does not bump counters; pair with a [`FaultKind::BitFlip`] roll.
+    pub fn flip_bit(&mut self, payload: &mut [u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let bit = self.rng.gen_below(payload.len() as u64 * 8);
+        payload[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+
+    /// Counters accumulated so far at this site.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// True when this injector's plan can never fire.
+    pub fn is_disabled(&self) -> bool {
+        self.plan.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link_rates(ppm: u32) -> FaultRates {
+        FaultRates {
+            corrupt_ppm: ppm,
+            ..FaultRates::none()
+        }
+    }
+
+    #[test]
+    fn zero_plan_never_fires_and_uses_no_rng() {
+        let mut inj = FaultInjector::disabled();
+        for i in 0..1000 {
+            assert!(!inj.roll(FaultKind::CorruptFrame, MemCycle(i)));
+            assert!(!inj.roll(FaultKind::BitFlip, MemCycle(i)));
+        }
+        assert_eq!(inj.counts().total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::with_rates(42, link_rates(250_000));
+        let mut a = plan.injector(3);
+        let mut b = plan.injector(3);
+        let seq_a: Vec<bool> = (0..500)
+            .map(|i| a.roll(FaultKind::CorruptFrame, MemCycle(i)))
+            .collect();
+        let seq_b: Vec<bool> = (0..500)
+            .map(|i| b.roll(FaultKind::CorruptFrame, MemCycle(i)))
+            .collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&h| h), "250k ppm over 500 rolls must hit");
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn sites_are_independent_streams() {
+        let plan = FaultPlan::with_rates(42, link_rates(500_000));
+        let mut a = plan.injector(0);
+        let mut b = plan.injector(1);
+        let seq_a: Vec<bool> = (0..200)
+            .map(|i| a.roll(FaultKind::CorruptFrame, MemCycle(i)))
+            .collect();
+        let seq_b: Vec<bool> = (0..200)
+            .map(|i| b.roll(FaultKind::CorruptFrame, MemCycle(i)))
+            .collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn rates_roughly_match_ppm() {
+        let plan = FaultPlan::with_rates(7, link_rates(100_000)); // 10%
+        let mut inj = plan.injector(0);
+        let hits = (0..100_000)
+            .filter(|&i| inj.roll(FaultKind::CorruptFrame, MemCycle(i)))
+            .count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.1).abs() < 0.01, "hit fraction {frac}");
+        assert_eq!(inj.counts().corrupt_frames, hits as u64);
+    }
+
+    #[test]
+    fn windows_override_base() {
+        let plan = FaultPlan::with_rates(1, FaultRates::none()).window(FaultWindow {
+            start: MemCycle(100),
+            end: MemCycle(200),
+            rates: link_rates(1_000_000),
+        });
+        let mut inj = plan.injector(0);
+        assert!(!inj.roll(FaultKind::CorruptFrame, MemCycle(99)));
+        assert!(inj.roll(FaultKind::CorruptFrame, MemCycle(100)));
+        assert!(inj.roll(FaultKind::CorruptFrame, MemCycle(199)));
+        assert!(!inj.roll(FaultKind::CorruptFrame, MemCycle(200)));
+        assert_eq!(inj.counts().corrupt_frames, 2);
+    }
+
+    #[test]
+    fn later_windows_win() {
+        let burst = FaultWindow {
+            start: MemCycle(0),
+            end: MemCycle(1000),
+            rates: link_rates(1_000_000),
+        };
+        let quiet = FaultWindow {
+            start: MemCycle(500),
+            end: MemCycle(600),
+            rates: FaultRates::none(),
+        };
+        let plan = FaultPlan::with_rates(1, FaultRates::none())
+            .window(burst)
+            .window(quiet);
+        assert_eq!(plan.rates_at(MemCycle(499)).corrupt_ppm, 1_000_000);
+        assert_eq!(plan.rates_at(MemCycle(550)).corrupt_ppm, 0);
+        assert_eq!(plan.rates_at(MemCycle(600)).corrupt_ppm, 1_000_000);
+        assert_eq!(plan.rates_at(MemCycle(1000)).corrupt_ppm, 0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let over = FaultPlan::with_rates(0, link_rates(1_000_001));
+        assert!(over.validate().is_err());
+        let empty_window = FaultPlan::none().window(FaultWindow {
+            start: MemCycle(5),
+            end: MemCycle(5),
+            rates: FaultRates::none(),
+        });
+        assert!(empty_window.validate().is_err());
+        assert!(FaultPlan::with_rates(0, link_rates(1_000_000)).validate().is_ok());
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let plan = FaultPlan::with_rates(9, FaultRates::none());
+        let mut inj = plan.injector(0);
+        let original = [0u8; 64];
+        for _ in 0..100 {
+            let mut payload = original;
+            inj.flip_bit(&mut payload);
+            let flipped: u32 = payload
+                .iter()
+                .zip(original.iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(flipped, 1);
+        }
+        // Empty payload is a no-op, not a panic.
+        inj.flip_bit(&mut []);
+    }
+}

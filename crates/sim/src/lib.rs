@@ -25,13 +25,15 @@
 
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod id;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{CpuCycle, MemCycle, CPU_CYCLES_PER_MEM_CYCLE, TCK_PICOS};
-pub use error::ConfigError;
+pub use error::{ConfigError, SimError};
+pub use fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultRates, FaultWindow};
 pub use id::{AppId, ChannelId, CoreId, RequestId, RequestIdGen, SubChannelId};
 pub use queue::BoundedQueue;
 pub use rng::Xoshiro256;

@@ -13,7 +13,6 @@
 //! traces be imported and replayed through the simulator).
 
 use crate::record::{AccessOp, TraceRecord};
-use std::fmt::Write as _;
 
 /// A parse failure, with the offending 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,7 +39,7 @@ pub fn write_trace<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> St
             AccessOp::Read => 'R',
             AccessOp::Write => 'W',
         };
-        writeln!(out, "{} {} {:#x}", r.gap, op, r.addr).expect("string write");
+        out.push_str(&format!("{} {} {:#x}\n", r.gap, op, r.addr));
     }
     out
 }

@@ -153,6 +153,57 @@ fn conformance_run_matches_plain_run() {
 }
 
 #[test]
+fn faulty_soak_recovers_everything_and_stays_deterministic() {
+    use doram::sim::fault::{FaultPlan, FaultRates};
+    // Lossy serial links *and* a hostile-but-sub-threshold DRAM: frames
+    // corrupt or vanish, SD bucket reads come back bit-flipped or with
+    // forged MACs. The run must complete with every fault recovered,
+    // report the recovery work it did, and replay identically per seed.
+    let soak = || {
+        let cfg = SystemConfig::builder(Benchmark::Libq)
+            .scheme(Scheme::DOram { k: 1, c: 4 })
+            .ns_accesses(800)
+            .tree_l_max(12)
+            .seed(3)
+            .link(LinkConfig {
+                error_rate_ppm: 500,
+                ..LinkConfig::default()
+            })
+            .fault_plan(FaultPlan::with_rates(
+                41,
+                FaultRates {
+                    drop_ppm: 200,
+                    bitflip_ppm: 2_000,
+                    forge_mac_ppm: 500,
+                    ..FaultRates::none()
+                },
+            ))
+            .max_mem_cycles(100_000_000)
+            .build()
+            .expect("valid");
+        Simulation::new(cfg).expect("valid").run().expect("recovers")
+    };
+    let r = soak();
+    let fr = r.faults.clone().expect("D-ORAM reports fault activity");
+    assert!(fr.injected.total() > 0, "soak must actually inject faults");
+    assert!(fr.injected.bit_flips > 0, "DRAM plan active");
+    assert!(fr.retransmissions > 0, "link recovery ran");
+    assert!(fr.integrity_failures > 0 && fr.refetches > 0, "SD recovery ran");
+    assert!(fr.total_recovery_cycles() > 0, "recovery costs latency");
+    assert!(fr.quarantined_subs.is_empty(), "rates stay sub-threshold");
+    // All NS tenants and the S-App made progress despite the faults.
+    for (i, &t) in r.ns_exec_cpu_cycles.iter().enumerate() {
+        assert!(t > 0, "tenant {i}");
+    }
+    assert!(r.oram.expect("SD ran").real_accesses > 0);
+    // Same seed ⇒ same fault schedule, same recovery, same timing.
+    let again = soak();
+    assert_eq!(again.faults.unwrap(), fr);
+    assert_eq!(again.ns_exec_cpu_cycles, r.ns_exec_cpu_cycles);
+    assert_eq!(again.total_mem_cycles, r.total_mem_cycles);
+}
+
+#[test]
 fn lossy_links_cost_time_but_nothing_hangs() {
     let run = |ppm: u32| {
         let cfg = SystemConfig::builder(Benchmark::Libq)

@@ -1,0 +1,184 @@
+//! A minimal, offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! this small re-implementation of the API surface the benches use:
+//! [`Criterion`] with `bench_function` / `benchmark_group`, groups with
+//! `bench_with_input` and `finish`, [`BenchmarkId`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Semantics: each benchmark body is timed with `std::time::Instant` over
+//! `sample_size` iterations and the mean/min are printed to stdout. When the
+//! harness is invoked in cargo's *test* mode (a `--test` argument, as
+//! `cargo test` does for `harness = false` bench targets), benchmarks are
+//! registered but not executed, keeping the test suite fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// True when the binary was started by `cargo test` rather than
+/// `cargo bench` (cargo passes `--test` to non-harness bench targets).
+fn in_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Per-iteration timing loop handed to benchmark bodies.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `body` once per sample, preventing the result from being
+    /// optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = body();
+            self.elapsed.push(start.elapsed());
+            std::hint::black_box(&out);
+        }
+    }
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            test_mode: in_test_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs (or, in test mode, registers) a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.test_mode {
+            println!("bench {name}: skipped (test mode)");
+            return self;
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: Vec::with_capacity(self.sample_size),
+        };
+        body(&mut b);
+        report(name, &b.elapsed);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let input_ref = input;
+        self.criterion
+            .bench_function(&full, |b| body(b, input_ref));
+        self
+    }
+
+    /// Ends the group. (No-op: kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Prints a one-line summary for a finished benchmark.
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {name}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {name}: mean {mean:?}, min {min:?} over {} samples",
+        samples.len()
+    );
+}
+
+/// Declares a group-runner function, in either criterion macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

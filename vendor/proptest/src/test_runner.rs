@@ -1,0 +1,132 @@
+//! Deterministic test runner and its RNG.
+
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; this stand-in trades a little
+        // coverage for suite latency.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fails the current case with `reason`. Accepts anything printable so
+    /// callers can pass `String`s or typed errors alike.
+    pub fn fail(reason: impl fmt::Display) -> TestCaseError {
+        TestCaseError {
+            message: reason.to_string(),
+        }
+    }
+
+    /// Alias of [`TestCaseError::fail`], mirroring proptest's `reject`.
+    pub fn reject(reason: impl fmt::Display) -> TestCaseError {
+        TestCaseError::fail(reason)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64-based RNG: tiny, fast, and deterministic per (test, case).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    pub fn seed_from(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; panics on `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Multiply-shift reduction; bias is negligible for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Drives one property: generates inputs, runs the body, panics on the first
+/// failing case with the case index and generated value.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG stream is derived from the property name,
+    /// so every property sees an independent but reproducible sequence.
+    pub fn new(config: ProptestConfig, name: &str) -> TestRunner {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner { config, seed }
+    }
+
+    /// Runs `body` against `cases` generated inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first case whose body
+    /// returns an error, reporting the deterministic case index and input.
+    pub fn run<S, F>(&mut self, strategy: S, body: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::seed_from(
+                self.seed ^ (case as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+            );
+            let value = strategy.generate(&mut rng);
+            let shown = format!("{value:?}");
+            if let Err(e) = body(value) {
+                panic!(
+                    "property failed at case {case}/{cases}: {e}\n  input: {shown}",
+                    cases = self.config.cases,
+                );
+            }
+        }
+    }
+}
