@@ -13,6 +13,8 @@ use doram_core::experiments::Scale;
 use std::time::Instant;
 
 /// Writes `csv` to `$DORAM_CSV/<exhibit>.csv` when the variable is set.
+/// The write is crash-consistent (temp file + fsync + atomic rename), so
+/// a killed sweep never leaves a truncated CSV behind.
 ///
 /// # Panics
 ///
@@ -20,8 +22,7 @@ use std::time::Instant;
 pub fn maybe_write_csv(exhibit: &str, csv: &str) {
     if let Ok(dir) = std::env::var("DORAM_CSV") {
         let path = std::path::Path::new(&dir).join(format!("{exhibit}.csv"));
-        std::fs::create_dir_all(&dir).expect("create DORAM_CSV directory");
-        std::fs::write(&path, csv).expect("write CSV");
+        doram_sim::snapshot::write_atomic(&path, csv.as_bytes()).expect("write CSV");
         eprintln!("[{exhibit}] wrote {}", path.display());
     }
 }

@@ -126,6 +126,38 @@ impl LinkStats {
     }
 }
 
+impl doram_sim::snapshot::Snapshot for LinkStats {
+    fn save_state(&self, w: &mut doram_sim::snapshot::SnapshotWriter) {
+        let LinkStats {
+            retransmissions,
+            crc_errors,
+            timeouts,
+            delayed_frames,
+            exhausted_retries,
+            recovery_cycles,
+        } = self;
+        w.put_u64(*retransmissions);
+        w.put_u64(*crc_errors);
+        w.put_u64(*timeouts);
+        w.put_u64(*delayed_frames);
+        w.put_u64(*exhausted_retries);
+        w.put_u64(*recovery_cycles);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut doram_sim::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), doram_sim::snapshot::SnapshotError> {
+        self.retransmissions = r.get_u64()?;
+        self.crc_errors = r.get_u64()?;
+        self.timeouts = r.get_u64()?;
+        self.delayed_frames = r.get_u64()?;
+        self.exhausted_retries = r.get_u64()?;
+        self.recovery_cycles = r.get_u64()?;
+        Ok(())
+    }
+}
+
 /// One direction of a serial link carrying messages of type `M`.
 #[derive(Debug, Clone)]
 struct Direction<M> {
@@ -266,6 +298,72 @@ impl<M> Direction<M> {
     fn pending(&self) -> usize {
         self.tx.len() + self.flying.len()
     }
+
+    /// Appends this direction's dynamic state; messages are encoded by
+    /// `enc` (the message type lives in the consumer crate).
+    fn save_state_with(
+        &self,
+        w: &mut doram_sim::snapshot::SnapshotWriter,
+        enc: &impl Fn(&M, &mut doram_sim::snapshot::SnapshotWriter),
+    ) {
+        use doram_sim::snapshot::Snapshot;
+        let Direction {
+            cfg: _,
+            tx,
+            tx_busy_until,
+            flying,
+            bytes_sent,
+            injector,
+            stats,
+            fault,
+            label: _,
+        } = self;
+        w.put_usize(tx.len());
+        for (bytes, msg) in tx {
+            w.put_u64(*bytes);
+            enc(msg, w);
+        }
+        w.put_u64(tx_busy_until.0);
+        w.put_usize(flying.len());
+        for (arrival, msg) in flying {
+            w.put_u64(arrival.0);
+            enc(msg, w);
+        }
+        w.put_u64(*bytes_sent);
+        injector.save_state(w);
+        stats.save_state(w);
+        doram_sim::snapshot::put_opt_sim_error(w, fault);
+    }
+
+    /// Restores this direction's dynamic state; messages are decoded by
+    /// `dec`.
+    fn load_state_with(
+        &mut self,
+        r: &mut doram_sim::snapshot::SnapshotReader<'_>,
+        dec: &impl Fn(
+            &mut doram_sim::snapshot::SnapshotReader<'_>,
+        ) -> Result<M, doram_sim::snapshot::SnapshotError>,
+    ) -> Result<(), doram_sim::snapshot::SnapshotError> {
+        use doram_sim::snapshot::Snapshot;
+        self.tx.clear();
+        for _ in 0..r.get_usize()? {
+            let bytes = r.get_u64()?;
+            let msg = dec(r)?;
+            self.tx.push_back((bytes, msg));
+        }
+        self.tx_busy_until = MemCycle(r.get_u64()?);
+        self.flying.clear();
+        for _ in 0..r.get_usize()? {
+            let arrival = MemCycle(r.get_u64()?);
+            let msg = dec(r)?;
+            self.flying.push_back((arrival, msg));
+        }
+        self.bytes_sent = r.get_u64()?;
+        self.injector.load_state(r)?;
+        self.stats.load_state(r)?;
+        self.fault = doram_sim::snapshot::get_opt_sim_error(r)?;
+        Ok(())
+    }
 }
 
 /// A full-duplex serial link between a MainMC (CPU side) and a SimpleMC
@@ -368,6 +466,36 @@ impl<M> Link<M> {
     /// still delivered, but the system layer should fail-stop).
     pub fn fault(&self) -> Option<&SimError> {
         self.to_mem.fault.as_ref().or(self.to_cpu.fault.as_ref())
+    }
+
+    /// Appends both directions' dynamic state for a checkpoint. The
+    /// message type `M` is private to the consumer crate, so its codec is
+    /// passed in as `enc`.
+    pub fn save_state_with(
+        &self,
+        w: &mut doram_sim::snapshot::SnapshotWriter,
+        enc: impl Fn(&M, &mut doram_sim::snapshot::SnapshotWriter),
+    ) {
+        self.to_mem.save_state_with(w, &enc);
+        self.to_cpu.save_state_with(w, &enc);
+    }
+
+    /// Restores both directions' dynamic state from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`doram_sim::snapshot::SnapshotError`] on truncation or a
+    /// malformed message.
+    pub fn load_state_with(
+        &mut self,
+        r: &mut doram_sim::snapshot::SnapshotReader<'_>,
+        dec: impl Fn(
+            &mut doram_sim::snapshot::SnapshotReader<'_>,
+        ) -> Result<M, doram_sim::snapshot::SnapshotError>,
+    ) -> Result<(), doram_sim::snapshot::SnapshotError> {
+        self.to_mem.load_state_with(r, &dec)?;
+        self.to_cpu.load_state_with(r, &dec)?;
+        Ok(())
     }
 }
 

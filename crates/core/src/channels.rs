@@ -13,6 +13,7 @@ use doram_dram::{
     Completion, EnergyBreakdown, EnergyParams, MemOp, MemRequest, RequestClass, ShareArbiter,
     SubChannel, SubChannelConfig,
 };
+use doram_sim::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use doram_sim::{AppId, MemCycle, RequestId};
 
 /// Per-app base offset inside a channel's local address space; keeps apps
@@ -100,6 +101,20 @@ impl Channel {
         }
     }
 
+    /// Total column commands (READ + WRITE) issued by this channel; a
+    /// monotone counter the liveness watchdog uses as forward progress.
+    pub fn column_ops(&self) -> u64 {
+        match self {
+            Channel::Direct(sc) => sc.stats().reads.get() + sc.stats().writes.get(),
+            Channel::Bob(ch) => (0..ch.sub_channel_count())
+                .map(|i| {
+                    let s = ch.sub_channel(i).stats();
+                    s.reads.get() + s.writes.get()
+                })
+                .sum(),
+        }
+    }
+
     /// DRAM row-buffer hit rate (mean across sub-channels).
     pub fn row_hit_rate(&self) -> f64 {
         match self {
@@ -140,6 +155,40 @@ impl Channel {
         match self {
             Channel::Direct(_) => None,
             Channel::Bob(ch) => ch.fault(),
+        }
+    }
+
+    /// One-line summary of the dynamic state, for watchdog diagnostics.
+    pub fn debug_state(&self) -> String {
+        match self {
+            Channel::Direct(sc) => sc.debug_state(),
+            Channel::Bob(ch) => ch.debug_state(),
+        }
+    }
+}
+
+impl Snapshot for Channel {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        // The flavor is config-derived; a tag guards against restoring a
+        // checkpoint into a differently-configured fabric.
+        match self {
+            Channel::Direct(sc) => {
+                w.put_u8(0);
+                sc.save_state(w);
+            }
+            Channel::Bob(ch) => {
+                w.put_u8(1);
+                ch.save_state(w);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let tag = r.get_u8()?;
+        match (tag, self) {
+            (0, Channel::Direct(sc)) => sc.load_state(r),
+            (1, Channel::Bob(ch)) => ch.load_state(r),
+            _ => Err(SnapshotError::new("channel flavor mismatch")),
         }
     }
 }
@@ -242,6 +291,20 @@ impl ChannelFabric {
         self.channels.iter().find_map(|ch| ch.fault())
     }
 
+    /// Total column commands issued across the fabric (watchdog progress).
+    pub fn column_ops(&self) -> u64 {
+        self.channels.iter().map(Channel::column_ops).sum()
+    }
+
+    /// One-line summary per channel, for watchdog diagnostics.
+    pub fn debug_states(&self) -> Vec<String> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, ch)| format!("ch{i}[{}]", ch.debug_state()))
+            .collect()
+    }
+
     /// The sub-channel configuration the paper's Table II implies, with
     /// the given arbiter.
     pub fn paper_subchannel_config(
@@ -257,6 +320,26 @@ impl ChannelFabric {
             },
             ..SubChannelConfig::default()
         }
+    }
+}
+
+impl Snapshot for ChannelFabric {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        let ChannelFabric { channels } = self;
+        w.put_usize(channels.len());
+        for ch in channels {
+            ch.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        if r.get_usize()? != self.channels.len() {
+            return Err(SnapshotError::new("channel count mismatch"));
+        }
+        for ch in self.channels.iter_mut() {
+            ch.load_state(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -198,6 +198,16 @@ impl SystemConfig {
         if self.channels < 2 {
             return Err(ConfigError::new("need at least two channels"));
         }
+        if self.tree_z == 0 {
+            return Err(ConfigError::new("buckets need at least one slot (Z >= 1)"));
+        }
+        // Path/leaf indices are u64 bit paths: level l uses bit l-1, so
+        // the leaf level must leave the index representable.
+        if self.tree_l_max >= 63 {
+            return Err(ConfigError::new(
+                "tree leaf level must stay below 63 (path indices are 64-bit)",
+            ));
+        }
         if let Scheme::DOram { k, c } = self.scheme {
             if k > 3 {
                 return Err(ConfigError::new("tree split k must be <= 3"));
@@ -309,6 +319,12 @@ impl SystemConfigBuilder {
     /// Sets the ORAM tree depth (leaf level).
     pub fn tree_l_max(mut self, l: u32) -> Self {
         self.cfg.tree_l_max = l;
+        self
+    }
+
+    /// Sets the bucket size (blocks per bucket).
+    pub fn tree_z(mut self, z: u32) -> Self {
+        self.cfg.tree_z = z;
         self
     }
 
@@ -441,6 +457,29 @@ mod tests {
         assert!(bad_c.is_err());
         let bad_ns = SystemConfig::builder(Benchmark::Black).ns_accesses(0).build();
         assert!(bad_ns.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_bucket_slots() {
+        let err = SystemConfig::builder(Benchmark::Black)
+            .tree_z(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("slot"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_overflowing_tree_depth() {
+        let err = SystemConfig::builder(Benchmark::Black)
+            .tree_l_max(63)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("63"), "{err}");
+        // The deepest representable tree passes depth validation.
+        assert!(SystemConfig::builder(Benchmark::Black)
+            .tree_l_max(62)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub mod system;
 pub use config::{Scheme, SystemConfig, SystemConfigBuilder};
 pub use metrics::{FaultReport, RunReport};
 pub use secure_channel::SdFaultStats;
-pub use system::Simulation;
+pub use system::{RunOptions, SimError, Simulation};

@@ -8,6 +8,7 @@
 use crate::channels::{ChannelFabric, APP_REGION_BYTES};
 use doram_dram::{MemOp, MemRequest, RequestClass};
 use doram_secmem::{SecMemConfig, SecureMemoryEngine};
+use doram_sim::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use doram_sim::{AppId, MemCycle, RequestId, RequestIdGen};
 use std::collections::HashMap;
 
@@ -134,6 +135,84 @@ impl SecMemFrontend {
     /// Accesses expanded so far.
     pub fn expanded(&self) -> u64 {
         self.engine.expanded()
+    }
+
+    /// One-line summary of the dynamic state, for watchdog diagnostics.
+    pub fn debug_state(&self) -> String {
+        format!(
+            "pending={} dummies={} delayed={}",
+            self.pending.len(),
+            self.dummies.len(),
+            self.delayed.len()
+        )
+    }
+}
+
+impl Snapshot for SecMemFrontend {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        let SecMemFrontend {
+            engine,
+            s_app: _,
+            pending,
+            dummies,
+            delayed,
+            overhead: _,
+        } = self;
+        engine.save_state(w);
+        // Maps serialized sorted so the payload is independent of hash
+        // order.
+        let mut reals: Vec<(u64, PendingReal)> =
+            pending.iter().map(|(id, p)| (id.0, *p)).collect();
+        reals.sort_unstable_by_key(|&(id, _)| id);
+        w.put_usize(reals.len());
+        for (id, p) in reals {
+            w.put_u64(id);
+            match p.core_id {
+                None => w.put_bool(false),
+                Some(core_id) => {
+                    w.put_bool(true);
+                    w.put_u64(core_id.0);
+                }
+            }
+            w.put_u64(p.issued.0);
+        }
+        let mut dummy_ids: Vec<u64> = dummies.keys().map(|id| id.0).collect();
+        dummy_ids.sort_unstable();
+        w.put_usize(dummy_ids.len());
+        for id in dummy_ids {
+            w.put_u64(id);
+        }
+        w.put_usize(delayed.len());
+        for (when, id) in delayed {
+            w.put_u64(when.0);
+            w.put_u64(id.0);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.engine.load_state(r)?;
+        self.pending.clear();
+        for _ in 0..r.get_usize()? {
+            let id = RequestId(r.get_u64()?);
+            let core_id = if r.get_bool()? {
+                Some(RequestId(r.get_u64()?))
+            } else {
+                None
+            };
+            let issued = MemCycle(r.get_u64()?);
+            self.pending.insert(id, PendingReal { core_id, issued });
+        }
+        self.dummies.clear();
+        for _ in 0..r.get_usize()? {
+            self.dummies.insert(RequestId(r.get_u64()?), ());
+        }
+        self.delayed.clear();
+        for _ in 0..r.get_usize()? {
+            let when = MemCycle(r.get_u64()?);
+            let id = RequestId(r.get_u64()?);
+            self.delayed.push((when, id));
+        }
+        Ok(())
     }
 }
 

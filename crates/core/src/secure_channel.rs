@@ -13,15 +13,21 @@
 //! the (ciphertext) blocks as full response packets (§III-C). Write-phase
 //! updates travel as full write packets the CPU forwards; they are posted.
 
-use crate::onchip_oram::{BlockSink, FsmEvent, Issued, OramFsm, OramJob, OramStats};
+use crate::onchip_oram::{
+    get_oram_job, put_oram_job, BlockSink, FsmEvent, Issued, OramFsm, OramJob, OramStats,
+};
 use crate::onchip_oram::ORAM_REGION_BASE;
 use doram_bob::packet::PacketKind;
 use doram_bob::{Link, LinkConfig, LinkStats};
-use doram_crypto::BucketIntegrity;
+use doram_crypto::{BucketIntegrity, DIGEST_BYTES};
+use doram_dram::request::{get_completion, get_mem_request, put_completion, put_mem_request};
 use doram_dram::{Completion, MemOp, MemRequest, RequestClass, SubChannel, SubChannelConfig};
 use doram_oram::plan::{BlockRef, Placement, PlanConfig};
 use doram_oram::verified::RecoveryPolicy;
 use doram_sim::fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan};
+use doram_sim::snapshot::{
+    get_opt_sim_error, put_opt_sim_error, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use doram_sim::{AppId, MemCycle, RequestId, RequestIdGen, SimError};
 use std::collections::{HashMap, VecDeque};
 
@@ -443,6 +449,20 @@ impl SecureChannel {
         self.sd_integrity.fault.as_ref().or_else(|| self.link.fault())
     }
 
+    /// One-line summary of the dynamic state, for watchdog diagnostics.
+    pub fn debug_state(&self) -> String {
+        let subs: Vec<String> = self.subs.iter().map(|s| s.debug_state()).collect();
+        format!(
+            "fsm=[{}] mc_pending={} resp_pending={} out_pending={} refetch={} subs=[{}]",
+            self.fsm.debug_state(),
+            self.mc_pending.len(),
+            self.resp_pending.len(),
+            self.out_pending.len(),
+            self.pending_refetch.len(),
+            subs.join(" | ")
+        )
+    }
+
     /// Enables device-command tracing on every sub-channel.
     pub fn enable_command_traces(&mut self) {
         for sub in self.subs.iter_mut() {
@@ -666,6 +686,300 @@ impl SecureChannel {
             }
             self.resp_pending.pop_front();
         }
+    }
+}
+
+pub(crate) fn put_split_fetch(f: &SplitFetch, w: &mut SnapshotWriter) {
+    w.put_u64(f.tag);
+    w.put_usize(f.channel);
+    w.put_u64(f.addr);
+}
+
+pub(crate) fn get_split_fetch(r: &mut SnapshotReader<'_>) -> Result<SplitFetch, SnapshotError> {
+    Ok(SplitFetch {
+        tag: r.get_u64()?,
+        channel: r.get_usize()?,
+        addr: r.get_u64()?,
+    })
+}
+
+fn put_sec_msg(msg: &SecMsg, w: &mut SnapshotWriter) {
+    match msg {
+        SecMsg::NsReq(req) => {
+            w.put_u8(0);
+            put_mem_request(w, req);
+        }
+        SecMsg::NsResp(c) => {
+            w.put_u8(1);
+            put_completion(w, c);
+        }
+        SecMsg::SecReq(job) => {
+            w.put_u8(2);
+            put_oram_job(job, w);
+        }
+        SecMsg::SecResp(job) => {
+            w.put_u8(3);
+            put_oram_job(job, w);
+        }
+        SecMsg::SplitReadReq(f) => {
+            w.put_u8(4);
+            put_split_fetch(f, w);
+        }
+        SecMsg::SplitReadBatch(batch) => {
+            w.put_u8(5);
+            w.put_u8(batch.len);
+            for f in batch.fetches() {
+                put_split_fetch(f, w);
+            }
+        }
+        SecMsg::SplitReadResp(f) => {
+            w.put_u8(6);
+            put_split_fetch(f, w);
+        }
+        SecMsg::SplitWrite(f) => {
+            w.put_u8(7);
+            put_split_fetch(f, w);
+        }
+    }
+}
+
+fn get_sec_msg(r: &mut SnapshotReader<'_>) -> Result<SecMsg, SnapshotError> {
+    Ok(match r.get_u8()? {
+        0 => SecMsg::NsReq(get_mem_request(r)?),
+        1 => SecMsg::NsResp(get_completion(r)?),
+        2 => SecMsg::SecReq(get_oram_job(r)?),
+        3 => SecMsg::SecResp(get_oram_job(r)?),
+        4 => SecMsg::SplitReadReq(get_split_fetch(r)?),
+        5 => {
+            let len = r.get_u8()?;
+            if len as usize > MAX_BATCH {
+                return Err(SnapshotError::new(format!("split batch len {len}")));
+            }
+            let mut batch = SplitBatch::new();
+            for _ in 0..len {
+                batch.push(get_split_fetch(r)?);
+            }
+            SecMsg::SplitReadBatch(batch)
+        }
+        6 => SecMsg::SplitReadResp(get_split_fetch(r)?),
+        7 => SecMsg::SplitWrite(get_split_fetch(r)?),
+        tag => return Err(SnapshotError::new(format!("bad sec msg tag {tag}"))),
+    })
+}
+
+impl Snapshot for SdIntegrity {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        let SdIntegrity {
+            integrity,
+            versions,
+            injector,
+            policy: _,
+            consec,
+            quarantined,
+            integrity_failures,
+            refetches,
+            recovery_cycles,
+            fault,
+            inflight,
+        } = self;
+        // export_tags returns addr-sorted pairs, so the payload is
+        // independent of hash order.
+        let tags = integrity.export_tags();
+        w.put_usize(tags.len());
+        for (addr, tag) in tags {
+            w.put_u64(addr);
+            w.put_bytes(&tag);
+        }
+        let mut vers: Vec<(u64, u64)> = versions.iter().map(|(&a, &v)| (a, v)).collect();
+        vers.sort_unstable_by_key(|&(a, _)| a);
+        w.put_usize(vers.len());
+        for (addr, v) in vers {
+            w.put_u64(addr);
+            w.put_u64(v);
+        }
+        injector.save_state(w);
+        w.put_usize(consec.len());
+        for &c in consec {
+            w.put_u32(c);
+        }
+        w.put_usize(quarantined.len());
+        for &q in quarantined {
+            w.put_bool(q);
+        }
+        w.put_u64(*integrity_failures);
+        w.put_u64(*refetches);
+        w.put_u64(*recovery_cycles);
+        put_opt_sim_error(w, fault);
+        let mut tickets: Vec<(u64, RefetchTicket)> =
+            inflight.iter().map(|(id, t)| (id.0, *t)).collect();
+        tickets.sort_unstable_by_key(|&(id, _)| id);
+        w.put_usize(tickets.len());
+        for (id, t) in tickets {
+            w.put_u64(id);
+            w.put_u64(t.orig.0);
+            w.put_u64(t.detect.0);
+            w.put_u32(t.attempts);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n_tags = r.get_usize()?;
+        let mut tags = Vec::with_capacity(n_tags.min(1 << 16));
+        for _ in 0..n_tags {
+            let addr = r.get_u64()?;
+            let bytes = r.get_bytes()?;
+            if bytes.len() != DIGEST_BYTES {
+                return Err(SnapshotError::new("bad integrity tag length"));
+            }
+            let mut tag = [0u8; DIGEST_BYTES];
+            tag.copy_from_slice(&bytes);
+            tags.push((addr, tag));
+        }
+        self.integrity.import_tags(tags);
+        self.versions.clear();
+        for _ in 0..r.get_usize()? {
+            let addr = r.get_u64()?;
+            let v = r.get_u64()?;
+            self.versions.insert(addr, v);
+        }
+        self.injector.load_state(r)?;
+        if r.get_usize()? != self.consec.len() {
+            return Err(SnapshotError::new("sub-channel count mismatch (consec)"));
+        }
+        for c in self.consec.iter_mut() {
+            *c = r.get_u32()?;
+        }
+        if r.get_usize()? != self.quarantined.len() {
+            return Err(SnapshotError::new(
+                "sub-channel count mismatch (quarantined)",
+            ));
+        }
+        for q in self.quarantined.iter_mut() {
+            *q = r.get_bool()?;
+        }
+        self.integrity_failures = r.get_u64()?;
+        self.refetches = r.get_u64()?;
+        self.recovery_cycles = r.get_u64()?;
+        self.fault = get_opt_sim_error(r)?;
+        self.inflight.clear();
+        for _ in 0..r.get_usize()? {
+            let id = RequestId(r.get_u64()?);
+            let orig = RequestId(r.get_u64()?);
+            let detect = MemCycle(r.get_u64()?);
+            let attempts = r.get_u32()?;
+            self.inflight.insert(
+                id,
+                RefetchTicket {
+                    orig,
+                    detect,
+                    attempts,
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for SecureChannel {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        let SecureChannel {
+            link,
+            subs,
+            fsm,
+            s_app: _,
+            mc_pending,
+            resp_pending,
+            out_pending,
+            local_ids,
+            scratch: _, // drained within each tick
+            merge_bufs,
+            sd_integrity,
+            pending_refetch,
+        } = self;
+        link.save_state_with(w, put_sec_msg);
+        w.put_usize(subs.len());
+        for sub in subs {
+            sub.save_state(w);
+        }
+        fsm.save_state(w);
+        w.put_usize(mc_pending.len());
+        for req in mc_pending {
+            put_mem_request(w, req);
+        }
+        w.put_usize(resp_pending.len());
+        for c in resp_pending {
+            put_completion(w, c);
+        }
+        w.put_usize(out_pending.len());
+        for msg in out_pending {
+            put_sec_msg(msg, w);
+        }
+        local_ids.save_state(w);
+        // Presence of merge buffers is config; contents are dynamic (they
+        // drain every tick, but serialize them for safety).
+        match merge_bufs {
+            None => w.put_bool(false),
+            Some(bufs) => {
+                w.put_bool(true);
+                w.put_usize(bufs.len());
+                for batch in bufs {
+                    put_sec_msg(&SecMsg::SplitReadBatch(*batch), w);
+                }
+            }
+        }
+        sd_integrity.save_state(w);
+        w.put_usize(pending_refetch.len());
+        for (sub, req) in pending_refetch {
+            w.put_usize(*sub);
+            put_mem_request(w, req);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.link.load_state_with(r, get_sec_msg)?;
+        if r.get_usize()? != self.subs.len() {
+            return Err(SnapshotError::new("secure sub-channel count mismatch"));
+        }
+        for sub in self.subs.iter_mut() {
+            sub.load_state(r)?;
+        }
+        self.fsm.load_state(r)?;
+        self.mc_pending.clear();
+        for _ in 0..r.get_usize()? {
+            self.mc_pending.push_back(get_mem_request(r)?);
+        }
+        self.resp_pending.clear();
+        for _ in 0..r.get_usize()? {
+            self.resp_pending.push_back(get_completion(r)?);
+        }
+        self.out_pending.clear();
+        for _ in 0..r.get_usize()? {
+            self.out_pending.push_back(get_sec_msg(r)?);
+        }
+        self.local_ids.load_state(r)?;
+        let has_bufs = r.get_bool()?;
+        if has_bufs != self.merge_bufs.is_some() {
+            return Err(SnapshotError::new("merge-buffer presence mismatch"));
+        }
+        if let Some(bufs) = self.merge_bufs.as_mut() {
+            if r.get_usize()? != bufs.len() {
+                return Err(SnapshotError::new("merge-buffer count mismatch"));
+            }
+            for batch in bufs.iter_mut() {
+                match get_sec_msg(r)? {
+                    SecMsg::SplitReadBatch(b) => *batch = b,
+                    _ => return Err(SnapshotError::new("expected split batch")),
+                }
+            }
+        }
+        self.sd_integrity.load_state(r)?;
+        self.pending_refetch.clear();
+        for _ in 0..r.get_usize()? {
+            let sub = r.get_usize()?;
+            let req = get_mem_request(r)?;
+            self.pending_refetch.push_back((sub, req));
+        }
+        Ok(())
     }
 }
 

@@ -12,16 +12,24 @@ use crate::cpu_engine::CpuEngine;
 use crate::metrics::{OramSummary, RunReport};
 use crate::onchip_oram::{FabricSink, FsmEvent, OramFsm, OramJob};
 use crate::secmem_frontend::SecMemFrontend;
-use crate::secure_channel::{SecureChannel, SecureChannelConfig, SplitFetch};
+use crate::secure_channel::{
+    get_split_fetch, put_split_fetch, SecureChannel, SecureChannelConfig, SplitFetch,
+};
 use doram_cpu::{CoreConfig, MemoryPort, TraceCore};
 use doram_dram::{Completion, MemOp, MemRequest, RequestClass};
 use doram_oram::plan::PlanConfig;
 use doram_oram::split::SplitConfig;
 use doram_oram::tree::TreeGeometry;
+use doram_sim::snapshot::{
+    fnv1a64, read_checkpoint, write_checkpoint, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter,
+};
 use doram_sim::stats::{Histogram, RunningMean};
 use doram_sim::{AppId, ConfigError, MemCycle, RequestId, RequestIdGen, CPU_CYCLES_PER_MEM_CYCLE};
 use doram_trace::TraceGenerator;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Error ending a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +55,36 @@ pub enum SimError {
         /// The latched fault's description.
         detail: String,
     },
+    /// A run option was rejected before the simulation started (zero
+    /// checkpoint interval, watchdog budget below one DRAM round trip, …).
+    Config {
+        /// The violated constraint.
+        detail: String,
+    },
+    /// A checkpoint file could not be written, read, or restored.
+    Checkpoint {
+        /// What went wrong, naming the file where relevant.
+        detail: String,
+    },
+    /// The liveness watchdog fired: no core retired an instruction and no
+    /// DRAM column command issued for a whole budget of memory cycles.
+    Stalled {
+        /// Memory cycle at which the stall was declared.
+        at: u64,
+        /// The no-progress budget that elapsed.
+        budget: u64,
+        /// Diagnostic dump of every component's dynamic state.
+        dump: String,
+    },
+    /// The run was interrupted (Ctrl-C / SIGTERM or
+    /// [`request_shutdown`]) and shut down gracefully.
+    Interrupted {
+        /// Memory cycle the run had completed up to.
+        at: u64,
+        /// Final checkpoint written on the way out, when a checkpoint
+        /// directory was configured.
+        checkpoint: Option<PathBuf>,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -61,11 +99,119 @@ impl std::fmt::Display for SimError {
             SimError::IntegrityFailStop { detail } => {
                 write!(f, "fault recovery exhausted (fail-stop): {detail}")
             }
+            SimError::Config { detail } => write!(f, "invalid run options: {detail}"),
+            SimError::Checkpoint { detail } => write!(f, "checkpoint: {detail}"),
+            SimError::Stalled { at, budget, dump } => write!(
+                f,
+                "no forward progress for {budget} memory cycles (stalled at cycle {at})\n{dump}"
+            ),
+            SimError::Interrupted { at, checkpoint } => match checkpoint {
+                Some(p) => write!(
+                    f,
+                    "interrupted at memory cycle {at}; checkpoint written to {}",
+                    p.display()
+                ),
+                None => write!(f, "interrupted at memory cycle {at} (no checkpoint directory)"),
+            },
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Knobs of [`Simulation::run_with`]: periodic checkpointing, the
+/// liveness watchdog, and graceful-shutdown handling. The default is the
+/// plain [`Simulation::run`] behaviour (everything off).
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Write a checkpoint every `N` memory cycles (requires
+    /// [`checkpoint_dir`](RunOptions::checkpoint_dir)).
+    pub checkpoint_every: Option<u64>,
+    /// Directory receiving `ckpt-<cycle>.dorc` files (and the final
+    /// checkpoint on interruption).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Declare the run stalled after this many memory cycles without a
+    /// retired instruction or a DRAM column command. Must cover at least
+    /// one DRAM round trip (tRCD + CL + tBurst + tRP).
+    pub watchdog_budget: Option<u64>,
+    /// Install SIGINT/SIGTERM handlers that trigger graceful shutdown
+    /// (final checkpoint + [`SimError::Interrupted`]).
+    pub handle_signals: bool,
+}
+
+impl RunOptions {
+    /// Validates the options against `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] naming the violated constraint.
+    pub fn validate(&self, cfg: &SystemConfig) -> Result<(), SimError> {
+        if self.checkpoint_every == Some(0) {
+            return Err(SimError::Config {
+                detail: "checkpoint interval must be at least one memory cycle".into(),
+            });
+        }
+        if self.checkpoint_every.is_some() && self.checkpoint_dir.is_none() {
+            return Err(SimError::Config {
+                detail: "periodic checkpointing requires a checkpoint directory".into(),
+            });
+        }
+        if let Some(budget) = self.watchdog_budget {
+            let t = &cfg.timing;
+            // One closed-row read: ACT → tRCD → READ → CL + burst → PRE.
+            let round_trip = t.t_rcd + t.cl + t.t_burst + t.t_rp;
+            if budget < round_trip {
+                return Err(SimError::Config {
+                    detail: format!(
+                        "watchdog budget {budget} is below one DRAM round trip \
+                         ({round_trip} memory cycles)"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Set by the SIGINT/SIGTERM handlers; polled once per memory cycle.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Requests graceful shutdown of the running simulation, exactly as a
+/// SIGINT would: the run writes a final checkpoint (when a checkpoint
+/// directory is configured) and returns [`SimError::Interrupted`].
+/// Embedders and tests call this directly; the CLI installs signal
+/// handlers that call it via [`RunOptions::handle_signals`].
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" fn shutdown_handler(_signum: i32) {
+    // Only an atomic store: async-signal-safe.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = shutdown_handler as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Hash binding a checkpoint to the configuration it was taken under;
+/// resuming under a different configuration is rejected.
+fn config_hash(cfg: &SystemConfig) -> u64 {
+    fnv1a64(format!("{cfg:?}").as_bytes())
+}
 
 /// One core and its bookkeeping.
 struct CoreSlot {
@@ -73,6 +219,58 @@ struct CoreSlot {
     is_sapp: bool,
     first_finish_cpu: Option<u64>,
     restarts: u64,
+}
+
+impl CoreSlot {
+    /// Serializes the slot (restart count first: restoring needs it to
+    /// rebuild the right trace segment before the core state loads).
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        let CoreSlot {
+            core,
+            is_sapp: _,
+            first_finish_cpu,
+            restarts,
+        } = self;
+        w.put_u64(*restarts);
+        match first_finish_cpu {
+            None => w.put_bool(false),
+            Some(c) => {
+                w.put_bool(true);
+                w.put_u64(*c);
+            }
+        }
+        core.save_state(w);
+    }
+
+    /// Restores the slot; `core_idx` and `cfg` rebuild the trace iterator
+    /// for the checkpointed restart count.
+    fn load_state(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+        cfg: &SystemConfig,
+        core_idx: usize,
+        sapp_present: bool,
+    ) -> Result<(), SnapshotError> {
+        self.restarts = r.get_u64()?;
+        self.first_finish_cpu = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        let accesses = if self.is_sapp {
+            cfg.s_accesses
+        } else {
+            cfg.ns_accesses
+        };
+        let bench = if self.is_sapp {
+            cfg.benchmark
+        } else {
+            cfg.ns_benchmark(core_idx - usize::from(sapp_present))
+        };
+        let stream = trace_stream_id(cfg, core_idx, self.restarts);
+        let gen = TraceGenerator::new(bench.spec(), cfg.seed, stream);
+        self.core.load_state(r, Box::new(gen.finite(accesses)))
+    }
 }
 
 /// The scheme-specific memory backend.
@@ -105,6 +303,210 @@ enum Backend {
     },
 }
 
+impl Backend {
+    fn flavor_tag(&self) -> u8 {
+        match self {
+            Backend::Plain { .. } => 0,
+            Backend::BaselineOram { .. } => 1,
+            Backend::SecMem { .. } => 2,
+            Backend::DOram { .. } => 3,
+        }
+    }
+
+    /// Monotone forward-progress counter: DRAM column commands issued
+    /// anywhere in the backend.
+    fn column_ops(&self) -> u64 {
+        match self {
+            Backend::Plain { fabric }
+            | Backend::BaselineOram { fabric, .. }
+            | Backend::SecMem { fabric, .. } => fabric.column_ops(),
+            Backend::DOram {
+                normals, secure, ..
+            } => {
+                let sd: u64 = (0..secure.sub_channel_count())
+                    .map(|i| {
+                        let s = secure.sub_channel(i).stats();
+                        s.reads.get() + s.writes.get()
+                    })
+                    .sum();
+                normals.column_ops() + sd
+            }
+        }
+    }
+
+    /// Per-component state summaries for the watchdog's diagnostic dump.
+    fn debug_lines(&self) -> Vec<String> {
+        match self {
+            Backend::Plain { fabric } => fabric.debug_states(),
+            Backend::BaselineOram {
+                fabric,
+                fsm,
+                oram_ids,
+            } => {
+                let mut lines = vec![format!(
+                    "oram-fsm[{}] outstanding={}",
+                    fsm.debug_state(),
+                    oram_ids.len()
+                )];
+                lines.extend(fabric.debug_states());
+                lines
+            }
+            Backend::SecMem { fabric, frontend } => {
+                let mut lines = vec![format!("secmem[{}]", frontend.debug_state())];
+                lines.extend(fabric.debug_states());
+                lines
+            }
+            Backend::DOram {
+                normals,
+                secure,
+                engine,
+                split_fwd,
+                pending_split,
+                pending_deliver,
+            } => {
+                let mut lines = vec![
+                    format!("secure[{}]", secure.debug_state()),
+                    format!(
+                        "engine[sent={}/{} resp={}] split_fwd={} pending_split={} \
+                         pending_deliver={}",
+                        engine.stats().real_sent.get(),
+                        engine.stats().dummies_sent.get(),
+                        engine.stats().responses.get(),
+                        split_fwd.len(),
+                        pending_split.len(),
+                        pending_deliver.len()
+                    ),
+                ];
+                lines.extend(normals.debug_states());
+                lines
+            }
+        }
+    }
+}
+
+impl Snapshot for Backend {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u8(self.flavor_tag());
+        match self {
+            Backend::Plain { fabric } => fabric.save_state(w),
+            Backend::BaselineOram {
+                fabric,
+                fsm,
+                oram_ids,
+            } => {
+                fabric.save_state(w);
+                fsm.save_state(w);
+                let mut ids: Vec<u64> = oram_ids.iter().map(|id| id.0).collect();
+                ids.sort_unstable();
+                w.put_usize(ids.len());
+                for id in ids {
+                    w.put_u64(id);
+                }
+            }
+            Backend::SecMem { fabric, frontend } => {
+                fabric.save_state(w);
+                frontend.save_state(w);
+            }
+            Backend::DOram {
+                normals,
+                secure,
+                engine,
+                split_fwd,
+                pending_split,
+                pending_deliver,
+            } => {
+                normals.save_state(w);
+                secure.save_state(w);
+                engine.save_state(w);
+                let mut fwd: Vec<(u64, SplitFetch)> =
+                    split_fwd.iter().map(|(id, f)| (id.0, *f)).collect();
+                fwd.sort_unstable_by_key(|&(id, _)| id);
+                w.put_usize(fwd.len());
+                for (id, f) in fwd {
+                    w.put_u64(id);
+                    put_split_fetch(&f, w);
+                }
+                w.put_usize(pending_split.len());
+                for (f, op) in pending_split {
+                    put_split_fetch(f, w);
+                    w.put_u8(match op {
+                        MemOp::Read => 0,
+                        MemOp::Write => 1,
+                    });
+                }
+                w.put_usize(pending_deliver.len());
+                for f in pending_deliver {
+                    put_split_fetch(f, w);
+                }
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let tag = r.get_u8()?;
+        if tag != self.flavor_tag() {
+            return Err(SnapshotError::new(format!(
+                "backend flavor mismatch: checkpoint has {tag}, configuration builds {}",
+                self.flavor_tag()
+            )));
+        }
+        match self {
+            Backend::Plain { fabric } => fabric.load_state(r),
+            Backend::BaselineOram {
+                fabric,
+                fsm,
+                oram_ids,
+            } => {
+                fabric.load_state(r)?;
+                fsm.load_state(r)?;
+                oram_ids.clear();
+                for _ in 0..r.get_usize()? {
+                    oram_ids.insert(RequestId(r.get_u64()?));
+                }
+                Ok(())
+            }
+            Backend::SecMem { fabric, frontend } => {
+                fabric.load_state(r)?;
+                frontend.load_state(r)
+            }
+            Backend::DOram {
+                normals,
+                secure,
+                engine,
+                split_fwd,
+                pending_split,
+                pending_deliver,
+            } => {
+                normals.load_state(r)?;
+                secure.load_state(r)?;
+                engine.load_state(r)?;
+                split_fwd.clear();
+                for _ in 0..r.get_usize()? {
+                    let id = RequestId(r.get_u64()?);
+                    split_fwd.insert(id, get_split_fetch(r)?);
+                }
+                pending_split.clear();
+                for _ in 0..r.get_usize()? {
+                    let f = get_split_fetch(r)?;
+                    let op = match r.get_u8()? {
+                        0 => MemOp::Read,
+                        1 => MemOp::Write,
+                        t => {
+                            return Err(SnapshotError::new(format!("bad MemOp tag {t}")));
+                        }
+                    };
+                    pending_split.push_back((f, op));
+                }
+                pending_deliver.clear();
+                for _ in 0..r.get_usize()? {
+                    pending_deliver.push_back(get_split_fetch(r)?);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Everything the memory side owns (kept separate from the cores so both
 /// can be borrowed at once).
 struct MemoryState {
@@ -129,6 +531,75 @@ impl MemoryState {
         core_idx - usize::from(self.sapp_present)
     }
 
+}
+
+impl Snapshot for MemoryState {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        let MemoryState {
+            backend,
+            routers: _, // stateless (config-derived routing tables)
+            idgen,
+            owners,
+            sapp_present: _,
+            ns_read_latency,
+            ns_write_latency,
+            per_app_read_latency,
+            ns_read_histogram,
+            ready_reads,
+        } = self;
+        backend.save_state(w);
+        idgen.save_state(w);
+        let mut own: Vec<(u64, usize)> = owners.iter().map(|(id, c)| (id.0, *c)).collect();
+        own.sort_unstable_by_key(|&(id, _)| id);
+        w.put_usize(own.len());
+        for (id, core) in own {
+            w.put_u64(id);
+            w.put_usize(core);
+        }
+        ns_read_latency.save_state(w);
+        ns_write_latency.save_state(w);
+        w.put_usize(per_app_read_latency.len());
+        for m in per_app_read_latency {
+            m.save_state(w);
+        }
+        ns_read_histogram.save_state(w);
+        w.put_usize(ready_reads.len());
+        for (core, id) in ready_reads {
+            w.put_usize(*core);
+            w.put_u64(id.0);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.backend.load_state(r)?;
+        self.idgen.load_state(r)?;
+        self.owners.clear();
+        for _ in 0..r.get_usize()? {
+            let id = RequestId(r.get_u64()?);
+            let core = r.get_usize()?;
+            self.owners.insert(id, core);
+        }
+        self.ns_read_latency.load_state(r)?;
+        self.ns_write_latency.load_state(r)?;
+        let n = r.get_usize()?;
+        if n != self.per_app_read_latency.len() {
+            return Err(SnapshotError::new(format!(
+                "per-app latency count mismatch: checkpoint has {n}, configuration builds {}",
+                self.per_app_read_latency.len()
+            )));
+        }
+        for m in &mut self.per_app_read_latency {
+            m.load_state(r)?;
+        }
+        self.ns_read_histogram.load_state(r)?;
+        self.ready_reads.clear();
+        for _ in 0..r.get_usize()? {
+            let core = r.get_usize()?;
+            let id = RequestId(r.get_u64()?);
+            self.ready_reads.push((core, id));
+        }
+        Ok(())
+    }
 }
 
 /// The port one core uses during its step.
@@ -272,6 +743,8 @@ pub struct Simulation {
     cfg: SystemConfig,
     cores: Vec<CoreSlot>,
     mem: MemoryState,
+    /// Memory cycles completed so far (non-zero after a resume).
+    cycle: u64,
 }
 
 impl Simulation {
@@ -423,7 +896,137 @@ impl Simulation {
             ready_reads: Vec::new(),
         };
 
-        Ok(Simulation { cfg, cores, mem })
+        Ok(Simulation {
+            cfg,
+            cores,
+            mem,
+            cycle: 0,
+        })
+    }
+
+    /// Rebuilds the simulation from `cfg` and restores its dynamic state
+    /// from the checkpoint at `path`; [`Simulation::run`] (or
+    /// [`run_with`](Simulation::run_with)) then continues from the
+    /// checkpointed cycle, producing a [`RunReport`] bit-identical to an
+    /// uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] if `cfg` is invalid, [`SimError::Checkpoint`]
+    /// if the file is unreadable, corrupt, from another format version, or
+    /// was taken under a different configuration.
+    pub fn resume(cfg: SystemConfig, path: &Path) -> Result<Simulation, SimError> {
+        let mut sim = Simulation::new(cfg).map_err(|e| SimError::Config {
+            detail: e.to_string(),
+        })?;
+        let data = read_checkpoint(path).map_err(|e| SimError::Checkpoint {
+            detail: format!("{}: {e}", path.display()),
+        })?;
+        let want = config_hash(&sim.cfg);
+        if data.config_hash != want {
+            return Err(SimError::Checkpoint {
+                detail: format!(
+                    "{}: taken under a different configuration \
+                     (hash {:#018x}, this run's is {want:#018x})",
+                    path.display(),
+                    data.config_hash
+                ),
+            });
+        }
+        sim.restore_payload(&data.payload)
+            .map_err(|e| SimError::Checkpoint {
+                detail: format!("{}: {e}", path.display()),
+            })?;
+        if sim.cycle != data.cycle {
+            return Err(SimError::Checkpoint {
+                detail: format!(
+                    "{}: header cycle {} disagrees with payload cycle {}",
+                    path.display(),
+                    data.cycle,
+                    sim.cycle
+                ),
+            });
+        }
+        Ok(sim)
+    }
+
+    /// Serializes the complete dynamic state (cycle, cores, memory).
+    fn snapshot_payload(&self) -> Vec<u8> {
+        let Simulation {
+            cfg: _,
+            cores,
+            mem,
+            cycle,
+        } = self;
+        let mut w = SnapshotWriter::new();
+        w.put_u64(*cycle);
+        w.put_usize(cores.len());
+        for slot in cores {
+            slot.save_state(&mut w);
+        }
+        mem.save_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores the dynamic state written by
+    /// [`snapshot_payload`](Simulation::snapshot_payload).
+    fn restore_payload(&mut self, payload: &[u8]) -> Result<(), SnapshotError> {
+        let Simulation {
+            cfg,
+            cores,
+            mem,
+            cycle,
+        } = self;
+        let mut r = SnapshotReader::new(payload);
+        *cycle = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != cores.len() {
+            return Err(SnapshotError::new(format!(
+                "core count mismatch: checkpoint has {n}, configuration builds {}",
+                cores.len()
+            )));
+        }
+        for (core_idx, slot) in cores.iter_mut().enumerate() {
+            slot.load_state(&mut r, cfg, core_idx, mem.sapp_present)?;
+        }
+        mem.load_state(&mut r)?;
+        r.finish()
+    }
+
+    /// Writes a `ckpt-<cycle>.dorc` file into `dir` crash-consistently.
+    fn write_checkpoint_file(&self, dir: &Path, hash: u64) -> Result<PathBuf, SimError> {
+        let path = dir.join(format!("ckpt-{:012}.dorc", self.cycle));
+        let payload = self.snapshot_payload();
+        write_checkpoint(&path, hash, self.cycle, &payload).map_err(|e| SimError::Checkpoint {
+            detail: format!("writing {}: {e}", path.display()),
+        })?;
+        Ok(path)
+    }
+
+    /// The watchdog's forward-progress stamp: retired instructions plus
+    /// DRAM column commands, both monotone. Unchanged over a whole budget
+    /// of cycles means nothing retired and nothing drained.
+    fn progress_stamp(&self) -> u64 {
+        let retired: u64 = self.cores.iter().map(|c| c.core.retired()).sum();
+        retired + self.mem.backend.column_ops()
+    }
+
+    /// Diagnostic dump of every component's dynamic state for
+    /// [`SimError::Stalled`].
+    fn stall_dump(&self) -> String {
+        let mut lines = Vec::new();
+        for (i, slot) in self.cores.iter().enumerate() {
+            lines.push(format!(
+                "core{i}{}: retired={} finished={} restarts={}",
+                if slot.is_sapp { " (S-App)" } else { "" },
+                slot.core.retired(),
+                slot.core.finished(),
+                slot.restarts
+            ));
+        }
+        lines.push(format!("blocked reads: {}", self.mem.owners.len()));
+        lines.extend(self.mem.backend.debug_lines());
+        lines.join("\n")
     }
 
     /// Like [`run`](Simulation::run), but records every DRAM device
@@ -454,7 +1057,7 @@ impl Simulation {
             }
         }
         let timing = self.cfg.timing;
-        let (report, traces) = self.run_inner(true)?;
+        let (report, traces) = self.run_inner(true, &RunOptions::default())?;
         for (idx, trace) in traces.into_iter().enumerate() {
             if let Err(v) = doram_dram::check_conformance(&trace, &timing) {
                 return Err(SimError::JedecViolation {
@@ -472,19 +1075,72 @@ impl Simulation {
     ///
     /// [`SimError::CycleCapExceeded`] if the safety cap is hit first.
     pub fn run(self) -> Result<RunReport, SimError> {
-        self.run_inner(false).map(|(report, _)| report)
+        self.run_with(&RunOptions::default())
+    }
+
+    /// Like [`run`](Simulation::run), with crash-safety harness features:
+    /// periodic checkpointing, the liveness watchdog, and graceful
+    /// shutdown on SIGINT/SIGTERM. Continues from the checkpointed cycle
+    /// when `self` came from [`Simulation::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](Simulation::run) returns, plus
+    /// [`SimError::Config`] for invalid options, [`SimError::Checkpoint`]
+    /// for checkpoint I/O failures, [`SimError::Stalled`] when the
+    /// watchdog fires, and [`SimError::Interrupted`] on graceful shutdown.
+    pub fn run_with(self, opts: &RunOptions) -> Result<RunReport, SimError> {
+        self.run_inner(false, opts).map(|(report, _)| report)
     }
 
     fn run_inner(
         mut self,
         collect_traces: bool,
+        opts: &RunOptions,
     ) -> Result<(RunReport, Vec<Vec<doram_dram::CommandRecord>>), SimError> {
+        opts.validate(&self.cfg)?;
         let cap = self.cfg.max_mem_cycles;
         let debug = std::env::var_os("DORAM_DEBUG").is_some();
-        let mut m = 0u64;
+        let ckpt_hash = config_hash(&self.cfg);
+        let start_cycle = self.cycle;
+        if opts.handle_signals {
+            install_signal_handlers();
+        }
+        let mut last_progress = self.progress_stamp();
+        let mut last_progress_cycle = self.cycle;
         loop {
+            let m = self.cycle;
             if m >= cap {
                 return Err(SimError::CycleCapExceeded { cap });
+            }
+            if opts.handle_signals && SHUTDOWN.load(Ordering::SeqCst) {
+                SHUTDOWN.store(false, Ordering::SeqCst);
+                let checkpoint = match &opts.checkpoint_dir {
+                    Some(dir) => Some(self.write_checkpoint_file(dir, ckpt_hash)?),
+                    None => None,
+                };
+                return Err(SimError::Interrupted { at: m, checkpoint });
+            }
+            if let (Some(every), Some(dir)) = (opts.checkpoint_every, &opts.checkpoint_dir) {
+                // State here reflects cycles 0..m completed; skip the
+                // trivial cycle-0 file and the cycle a resume started at
+                // (its checkpoint already exists).
+                if m > 0 && m != start_cycle && m.is_multiple_of(every) {
+                    self.write_checkpoint_file(dir, ckpt_hash)?;
+                }
+            }
+            if let Some(budget) = opts.watchdog_budget {
+                let p = self.progress_stamp();
+                if p != last_progress {
+                    last_progress = p;
+                    last_progress_cycle = m;
+                } else if m - last_progress_cycle >= budget {
+                    return Err(SimError::Stalled {
+                        at: m,
+                        budget,
+                        dump: self.stall_dump(),
+                    });
+                }
             }
             if debug && m.is_multiple_of(50_000) {
                 let retired: Vec<u64> = self.cores.iter().map(|c| c.core.retired()).collect();
@@ -575,7 +1231,7 @@ impl Simulation {
             if all_ns_done {
                 break;
             }
-            m += 1;
+            self.cycle += 1;
         }
         // Escalate exhausted fault recovery: a latched link or integrity
         // fail-stop means the run's results cannot be trusted.
@@ -613,7 +1269,8 @@ impl Simulation {
         } else {
             Vec::new()
         };
-        Ok((self.report(m + 1), traces))
+        let total = self.cycle + 1;
+        Ok((self.report(total), traces))
     }
 
     fn report(self, total_mem_cycles: u64) -> RunReport {
@@ -1181,6 +1838,202 @@ mod tests {
             matches!(err, SimError::IntegrityFailStop { .. }),
             "expected fail-stop, got {err:?}"
         );
+    }
+
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("doram-sys-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Path of the checkpoint with the highest cycle in `dir`.
+    fn latest_checkpoint(dir: &std::path::Path) -> std::path::PathBuf {
+        let mut files: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "dorc"))
+            .collect();
+        files.sort();
+        files.pop().expect("at least one checkpoint written")
+    }
+
+    #[test]
+    fn run_options_validation() {
+        let cfg = SystemConfig::builder(Benchmark::Libq).build().unwrap();
+        let reject = |opts: RunOptions, needle: &str| {
+            let err = opts.validate(&cfg).unwrap_err();
+            match &err {
+                SimError::Config { detail } => {
+                    assert!(detail.contains(needle), "{detail} missing '{needle}'")
+                }
+                other => panic!("expected Config error, got {other:?}"),
+            }
+        };
+        reject(
+            RunOptions {
+                checkpoint_every: Some(0),
+                checkpoint_dir: Some("/tmp".into()),
+                ..RunOptions::default()
+            },
+            "at least one",
+        );
+        reject(
+            RunOptions {
+                checkpoint_every: Some(100),
+                ..RunOptions::default()
+            },
+            "directory",
+        );
+        // ddr3-1600 round trip: tRCD 11 + CL 11 + burst 4 + tRP 11 = 37.
+        reject(
+            RunOptions {
+                watchdog_budget: Some(36),
+                ..RunOptions::default()
+            },
+            "round trip",
+        );
+        let ok = RunOptions {
+            checkpoint_every: Some(1),
+            checkpoint_dir: Some("/tmp".into()),
+            watchdog_budget: Some(37),
+            ..RunOptions::default()
+        };
+        assert!(ok.validate(&cfg).is_ok());
+        assert!(RunOptions::default().validate(&cfg).is_ok());
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let cfg = || {
+            SystemConfig::builder(Benchmark::Libq)
+                .scheme(Scheme::DOram { k: 1, c: 4 })
+                .ns_accesses(300)
+                .tree_l_max(12)
+                .max_mem_cycles(20_000_000)
+                .build()
+                .unwrap()
+        };
+        let baseline = Simulation::new(cfg()).unwrap().run().unwrap();
+        let dir = ckpt_dir("resume-identity");
+        let opts = RunOptions {
+            checkpoint_every: Some(2_000),
+            checkpoint_dir: Some(dir.clone()),
+            watchdog_budget: Some(1_000_000),
+            ..RunOptions::default()
+        };
+        // Checkpointing must not perturb the run itself.
+        let checkpointed = Simulation::new(cfg()).unwrap().run_with(&opts).unwrap();
+        assert_eq!(format!("{checkpointed:?}"), format!("{baseline:?}"));
+        // Resuming from the last checkpoint must land on the same report,
+        // bit for bit (Debug shows f64s at round-trip precision).
+        let ckpt = latest_checkpoint(&dir);
+        let resumed = Simulation::resume(cfg(), &ckpt).unwrap().run().unwrap();
+        assert_eq!(format!("{resumed:?}"), format!("{baseline:?}"));
+        assert_eq!(
+            crate::report::report_json(&resumed),
+            crate::report::report_json(&baseline)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_other_configuration() {
+        let cfg = |seed| {
+            SystemConfig::builder(Benchmark::Libq)
+                .scheme(Scheme::SoloNs)
+                .ns_accesses(200)
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        let dir = ckpt_dir("cfg-mismatch");
+        let opts = RunOptions {
+            checkpoint_every: Some(500),
+            checkpoint_dir: Some(dir.clone()),
+            ..RunOptions::default()
+        };
+        Simulation::new(cfg(1)).unwrap().run_with(&opts).unwrap();
+        let ckpt = latest_checkpoint(&dir);
+        match Simulation::resume(cfg(2), &ckpt) {
+            Err(SimError::Checkpoint { detail }) => {
+                assert!(detail.contains("configuration"), "{detail}")
+            }
+            Err(other) => panic!("expected Checkpoint error, got {other:?}"),
+            Ok(_) => panic!("resume under a different seed must be rejected"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watchdog_kills_stalled_run() {
+        // Deliberately stalled configuration: a link whose propagation
+        // delay is beyond the simulation horizon. Every frame "arrives"
+        // ~10^12 cycles from now, so cores block on reads that never
+        // complete; without the watchdog the run would grind until the
+        // cycle cap (hanging CI at realistic caps).
+        let cfg = SystemConfig::builder(Benchmark::Libq)
+            .scheme(Scheme::DOram { k: 0, c: 7 })
+            .ns_accesses(400)
+            .tree_l_max(12)
+            .max_mem_cycles(50_000_000)
+            .link(doram_bob::LinkConfig {
+                latency: MemCycle(1 << 40),
+                ..doram_bob::LinkConfig::default()
+            })
+            .build()
+            .unwrap();
+        let opts = RunOptions {
+            watchdog_budget: Some(50_000),
+            ..RunOptions::default()
+        };
+        let err = Simulation::new(cfg).unwrap().run_with(&opts).unwrap_err();
+        match &err {
+            SimError::Stalled { at, budget, dump } => {
+                assert_eq!(*budget, 50_000);
+                assert!(*at < 10_000_000, "watchdog must beat the cycle cap");
+                // The dump names every component class.
+                assert!(dump.contains("core0"), "{dump}");
+                assert!(dump.contains("secure["), "{dump}");
+                assert!(dump.contains("engine["), "{dump}");
+                assert!(dump.contains("blocked reads"), "{dump}");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        assert!(err.to_string().contains("no forward progress"));
+    }
+
+    #[test]
+    fn graceful_shutdown_checkpoints_and_resumes() {
+        let cfg = || {
+            SystemConfig::builder(Benchmark::Libq)
+                .scheme(Scheme::Baseline)
+                .ns_accesses(300)
+                .tree_l_max(12)
+                .max_mem_cycles(20_000_000)
+                .build()
+                .unwrap()
+        };
+        let baseline = Simulation::new(cfg()).unwrap().run().unwrap();
+        let dir = ckpt_dir("graceful");
+        let opts = RunOptions {
+            checkpoint_dir: Some(dir.clone()),
+            handle_signals: true,
+            ..RunOptions::default()
+        };
+        // Simulate Ctrl-C before the first cycle (the handler just sets
+        // the same flag request_shutdown sets).
+        request_shutdown();
+        let err = Simulation::new(cfg()).unwrap().run_with(&opts).unwrap_err();
+        let SimError::Interrupted { at, checkpoint } = &err else {
+            panic!("expected Interrupted, got {err:?}");
+        };
+        assert_eq!(*at, 0);
+        let ckpt = checkpoint.as_ref().expect("final checkpoint written");
+        assert!(ckpt.exists());
+        // The interrupted run resumes into the same report.
+        let resumed = Simulation::resume(cfg(), ckpt).unwrap().run().unwrap();
+        assert_eq!(format!("{resumed:?}"), format!("{baseline:?}"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -246,6 +246,21 @@ impl BucketIntegrity {
     pub fn tracked(&self) -> usize {
         self.tags.len()
     }
+
+    /// All recorded `(addr, tag)` pairs sorted by address, for
+    /// checkpointing. The key is configuration and is not exported.
+    pub fn export_tags(&self) -> Vec<(u64, [u8; DIGEST_BYTES])> {
+        let mut out: Vec<(u64, Digest)> = self.tags.iter().map(|(&a, &t)| (a, t)).collect();
+        out.sort_unstable_by_key(|&(a, _)| a);
+        out
+    }
+
+    /// Replaces the recorded tags with `tags` (a checkpoint restore). The
+    /// store must have been built with the same key the tags were recorded
+    /// under, or subsequent verifies will fail.
+    pub fn import_tags(&mut self, tags: impl IntoIterator<Item = (u64, [u8; DIGEST_BYTES])>) {
+        self.tags = tags.into_iter().collect();
+    }
 }
 
 #[cfg(test)]

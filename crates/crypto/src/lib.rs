@@ -37,7 +37,7 @@ pub mod otp;
 pub mod session;
 
 pub use aes::Aes128;
-pub use integrity::{BucketIntegrity, MerklePath, MerkleTree};
+pub use integrity::{BucketIntegrity, MerklePath, MerkleTree, DIGEST_BYTES};
 pub use mac::Cmac;
 pub use otp::OtpStream;
 pub use session::{SealedPacket, SecureEndpoint, SessionError, SessionPair};

@@ -18,6 +18,9 @@ pub struct OccupancyProfile {
     pub tree_blocks: u64,
     /// Blocks currently in the stash.
     pub stash_blocks: u64,
+    /// Highest stash occupancy ever observed (the high-water mark the
+    /// stash bound of Stefanov et al. is measured against).
+    pub stash_peak: u64,
     /// Fraction of all tree slots occupied.
     pub utilization: f64,
 }
@@ -42,6 +45,7 @@ impl OccupancyProfile {
             mean_per_level,
             tree_blocks,
             stash_blocks: oram.stash_len() as u64,
+            stash_peak: oram.stash_peak() as u64,
             utilization: tree_blocks as f64 / g.total_blocks() as f64,
         }
     }
@@ -90,6 +94,10 @@ mod tests {
             p.tree_blocks + p.stash_blocks,
             touched.len() as u64,
             "every written block lives in tree or stash"
+        );
+        assert!(
+            p.stash_peak >= p.stash_blocks,
+            "high-water mark below current occupancy"
         );
     }
 

@@ -74,6 +74,45 @@ impl PositionMap {
     }
 }
 
+impl doram_sim::snapshot::Snapshot for PositionMap {
+    fn save_state(&self, w: &mut doram_sim::snapshot::SnapshotWriter) {
+        let PositionMap {
+            map,
+            num_leaves: _,
+            rng,
+        } = self;
+        // Serialize sorted so the payload is independent of hash order.
+        let mut entries: Vec<(u64, u64)> = map.iter().map(|(&b, &l)| (b, l)).collect();
+        entries.sort_unstable_by_key(|&(b, _)| b);
+        w.put_usize(entries.len());
+        for (block, leaf) in entries {
+            w.put_u64(block);
+            w.put_u64(leaf);
+        }
+        rng.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut doram_sim::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), doram_sim::snapshot::SnapshotError> {
+        self.map.clear();
+        for _ in 0..r.get_usize()? {
+            let block = r.get_u64()?;
+            let leaf = r.get_u64()?;
+            if leaf >= self.num_leaves {
+                return Err(doram_sim::snapshot::SnapshotError::new(format!(
+                    "position map leaf {leaf} out of range for {} leaves",
+                    self.num_leaves
+                )));
+            }
+            self.map.insert(block, leaf);
+        }
+        self.rng.load_state(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

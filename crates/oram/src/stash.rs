@@ -4,13 +4,22 @@
 //! expectation (Stefanov et al. prove O(log N)·ω(1) with Z = 4); the
 //! protocol tests check the empirical bound.
 
+use doram_sim::error::SimError;
+use doram_sim::stats::Histogram;
 use std::collections::HashMap;
+
+/// Width × count of the per-insert occupancy histogram: one-block buckets
+/// up to 256, anything beyond lands in the overflow bucket. Stefanov et
+/// al.'s bound keeps realistic stashes far below this.
+const OCCUPANCY_BUCKETS: usize = 256;
 
 /// A stash of blocks keyed by logical id, each tagged with its leaf.
 #[derive(Debug, Clone)]
 pub struct Stash<V> {
     blocks: HashMap<u64, (u64, V)>,
     peak: usize,
+    capacity: Option<usize>,
+    occupancy: Histogram,
 }
 
 impl<V> Default for Stash<V> {
@@ -20,18 +29,66 @@ impl<V> Default for Stash<V> {
 }
 
 impl<V> Stash<V> {
-    /// Creates an empty stash.
+    /// Creates an empty, unbounded stash.
     pub fn new() -> Stash<V> {
         Stash {
             blocks: HashMap::new(),
             peak: 0,
+            capacity: None,
+            occupancy: Histogram::new(1, OCCUPANCY_BUCKETS),
         }
     }
 
+    /// Creates an empty stash that refuses to grow beyond `capacity`
+    /// blocks via [`Stash::try_insert`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a stash that cannot hold even one
+    /// block deadlocks the first access.
+    pub fn with_capacity(capacity: usize) -> Stash<V> {
+        assert!(capacity > 0, "stash capacity must be positive");
+        Stash {
+            capacity: Some(capacity),
+            ..Stash::new()
+        }
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Inserts or replaces `block` with its `leaf` tag and value.
+    ///
+    /// Unbounded: succeeds even past a configured capacity. Use
+    /// [`Stash::try_insert`] when overflow must be surfaced as an error.
     pub fn insert(&mut self, block: u64, leaf: u64, value: V) {
         self.blocks.insert(block, (leaf, value));
         self.peak = self.peak.max(self.blocks.len());
+        self.occupancy.record(self.blocks.len() as u64);
+    }
+
+    /// Inserts `block`, failing with [`SimError::StashOverflow`] when a
+    /// *new* block would push occupancy past the configured capacity
+    /// (replacing a resident block never overflows). On overflow the
+    /// stash is left unchanged; the occupancy histogram records the
+    /// attempted occupancy either way.
+    pub fn try_insert(&mut self, block: u64, leaf: u64, value: V) -> Result<(), SimError> {
+        if let Some(cap) = self.capacity {
+            if self.blocks.len() >= cap && !self.blocks.contains_key(&block) {
+                let attempted = self.blocks.len() + 1;
+                self.occupancy.record(attempted as u64);
+                return Err(SimError::stash_overflow(attempted, cap));
+            }
+        }
+        self.insert(block, leaf, value);
+        Ok(())
+    }
+
+    /// Per-insert occupancy distribution (one-block-wide buckets).
+    pub fn occupancy_histogram(&self) -> &Histogram {
+        &self.occupancy
     }
 
     /// Removes and returns `block`'s `(leaf, value)`.
@@ -162,6 +219,66 @@ mod tests {
         s.insert(7, 1, vec![1u8]);
         s.get_mut(7).unwrap().1 = vec![2u8];
         assert_eq!(s.get(7).unwrap().1, vec![2u8]);
+    }
+
+    #[test]
+    fn try_insert_respects_capacity() {
+        let mut s = Stash::with_capacity(2);
+        assert_eq!(s.capacity(), Some(2));
+        s.try_insert(1, 10, "a").unwrap();
+        s.try_insert(2, 20, "b").unwrap();
+        let err = s.try_insert(3, 30, "c").unwrap_err();
+        match err {
+            SimError::StashOverflow {
+                occupancy,
+                capacity,
+            } => {
+                assert_eq!(occupancy, 3);
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected StashOverflow, got {other:?}"),
+        }
+        // The failed insert left the stash unchanged.
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn try_insert_allows_replacement_at_capacity() {
+        let mut s = Stash::with_capacity(1);
+        s.try_insert(1, 10, 0).unwrap();
+        // Replacing the resident block does not overflow.
+        s.try_insert(1, 11, 1).unwrap();
+        assert_eq!(s.get(1), Some(&(11, 1)));
+    }
+
+    #[test]
+    fn unbounded_insert_ignores_capacity() {
+        let mut s = Stash::with_capacity(1);
+        s.insert(1, 10, ());
+        s.insert(2, 20, ());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.peak(), 2);
+    }
+
+    #[test]
+    fn occupancy_histogram_records_every_insert() {
+        let mut s = Stash::new();
+        for i in 0..4 {
+            s.insert(i, i, ());
+        }
+        let h = s.occupancy_histogram();
+        assert_eq!(h.total(), 4);
+        // Occupancies 1..=4 each recorded once.
+        for occ in 1..=4 {
+            assert_eq!(h.buckets()[occ], 1, "occupancy {occ}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Stash::<()>::with_capacity(0);
     }
 
     #[test]

@@ -72,6 +72,17 @@ pub enum SimError {
         /// Description of the violated invariant.
         detail: String,
     },
+    /// The Path ORAM stash exceeded its configured capacity.
+    ///
+    /// Stefanov et al. bound stash occupancy with overwhelming
+    /// probability for adequate Z; hitting this means the configuration
+    /// (bucket slots, tree height, eviction rate) is outside that regime.
+    StashOverflow {
+        /// Number of blocks the stash would have held after the insert.
+        occupancy: usize,
+        /// The configured capacity that was exceeded.
+        capacity: usize,
+    },
 }
 
 impl SimError {
@@ -110,6 +121,14 @@ impl SimError {
             detail: detail.into(),
         }
     }
+
+    /// Convenience constructor for [`SimError::StashOverflow`].
+    pub fn stash_overflow(occupancy: usize, capacity: usize) -> SimError {
+        SimError::StashOverflow {
+            occupancy,
+            capacity,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -127,6 +146,15 @@ impl fmt::Display for SimError {
             }
             SimError::Protocol { detail } => {
                 write!(f, "protocol invariant violated: {detail}")
+            }
+            SimError::StashOverflow {
+                occupancy,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "stash overflow: {occupancy} blocks exceed capacity {capacity}"
+                )
             }
         }
     }
@@ -185,6 +213,10 @@ mod tests {
         assert_eq!(
             SimError::protocol("stash overflow").to_string(),
             "protocol invariant violated: stash overflow"
+        );
+        assert_eq!(
+            SimError::stash_overflow(130, 128).to_string(),
+            "stash overflow: 130 blocks exceed capacity 128"
         );
     }
 

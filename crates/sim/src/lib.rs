@@ -29,6 +29,7 @@ pub mod fault;
 pub mod id;
 pub mod queue;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 
 pub use clock::{CpuCycle, MemCycle, CPU_CYCLES_PER_MEM_CYCLE, TCK_PICOS};
@@ -37,4 +38,5 @@ pub use fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultRates, Fa
 pub use id::{AppId, ChannelId, CoreId, RequestId, RequestIdGen, SubChannelId};
 pub use queue::BoundedQueue;
 pub use rng::Xoshiro256;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use stats::{Counter, Histogram, RunningMean};

@@ -1,0 +1,695 @@
+//! Checkpoint/restore substrate: the [`Snapshot`] trait, a compact binary
+//! encoding, and the crash-consistent checkpoint file format.
+//!
+//! Every stateful component of the simulation implements [`Snapshot`]:
+//! `save_state` appends the component's *dynamic* state (queues, RNG
+//! streams, timing horizons, accumulated metrics) to a [`SnapshotWriter`];
+//! `load_state` overwrites that state in-place from a [`SnapshotReader`].
+//! Configuration-derived structure (capacities, timings, wiring) is *not*
+//! serialized — a restore target is always freshly built from the same
+//! configuration first, so only the dynamic fields need to travel.
+//!
+//! The file format is versioned and checksummed (FNV-1a 64): a truncated,
+//! corrupted, or incompatible checkpoint is rejected with a typed
+//! [`SnapshotError`] instead of yielding a silently wrong resume. All
+//! files are written crash-consistently (temp file + fsync + atomic
+//! rename) via [`write_atomic`], which report writers share.
+//!
+//! # Examples
+//!
+//! ```
+//! use doram_sim::snapshot::{Snapshot, SnapshotReader, SnapshotWriter};
+//! use doram_sim::rng::Xoshiro256;
+//!
+//! let mut rng = Xoshiro256::seed_from(7);
+//! rng.next_u64();
+//! let mut w = SnapshotWriter::new();
+//! rng.save_state(&mut w);
+//! let bytes = w.into_bytes();
+//!
+//! let mut restored = Xoshiro256::seed_from(0);
+//! restored.load_state(&mut SnapshotReader::new(&bytes)).unwrap();
+//! assert_eq!(restored.next_u64(), rng.next_u64());
+//! ```
+
+use crate::error::{ConfigError, SimError};
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"DORAMCKP";
+
+/// Checkpoint format version. Bumped on any incompatible layout change;
+/// older files are rejected, never misread.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A malformed, truncated, or incompatible snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    message: String,
+}
+
+impl SnapshotError {
+    /// Creates an error carrying a human-readable description.
+    pub fn new(message: impl Into<String>) -> SnapshotError {
+        SnapshotError {
+            message: message.into(),
+        }
+    }
+
+    /// The description without the prefix `Display` adds.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid snapshot: {}", self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A component whose dynamic state can be captured and restored in-place.
+///
+/// Implementations must destructure the whole struct (no `..` rest
+/// pattern) so that adding a field without updating the snapshot code is
+/// a compile error rather than a silent resume divergence.
+pub trait Snapshot {
+    /// Appends this component's dynamic state to `w`.
+    fn save_state(&self, w: &mut SnapshotWriter);
+
+    /// Overwrites this component's dynamic state from `r`.
+    ///
+    /// `self` must have been freshly constructed from the same
+    /// configuration the snapshot was taken under.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncation or layout mismatch.
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError>;
+}
+
+/// Append-only binary encoder for snapshots (little-endian, no padding).
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Creates an empty writer.
+    pub fn new() -> SnapshotWriter {
+        SnapshotWriter { buf: Vec::new() }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` (encoded as `u64`).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a `bool` (one byte).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends an `f64` via its exact bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over snapshot bytes; every read is bounds-checked.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> SnapshotReader<'a> {
+        SnapshotReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SnapshotError::new(format!(
+                "truncated: needed {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncation.
+    pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncation.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncation.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `usize` (stored as `u64`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncation or overflow.
+    pub fn get_usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| SnapshotError::new(format!("usize overflow: {v}")))
+    }
+
+    /// Reads a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncation or a non-0/1 byte.
+    pub fn get_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::new(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncation.
+    pub fn get_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncation.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let n = self.get_usize()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncation or invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String, SnapshotError> {
+        String::from_utf8(self.get_bytes()?)
+            .map_err(|_| SnapshotError::new("invalid UTF-8 in snapshot string"))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the reader consumed everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] if trailing bytes remain.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapshotError::new(format!(
+                "{} trailing bytes after snapshot payload",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash, used as the checkpoint checksum and for hashing
+/// the configuration a snapshot was taken under.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes a [`SimError`] (variant tag + fields).
+pub fn put_sim_error(w: &mut SnapshotWriter, e: &SimError) {
+    match e {
+        SimError::Config(c) => {
+            w.put_u8(0);
+            w.put_str(c.message());
+        }
+        SimError::Fault { site, detail } => {
+            w.put_u8(1);
+            w.put_str(site);
+            w.put_str(detail);
+        }
+        SimError::IntegrityViolation { addr, detail } => {
+            w.put_u8(2);
+            w.put_u64(*addr);
+            w.put_str(detail);
+        }
+        SimError::LinkTimeout { attempts, detail } => {
+            w.put_u8(3);
+            w.put_u32(*attempts);
+            w.put_str(detail);
+        }
+        SimError::Protocol { detail } => {
+            w.put_u8(4);
+            w.put_str(detail);
+        }
+        SimError::StashOverflow {
+            occupancy,
+            capacity,
+        } => {
+            w.put_u8(5);
+            w.put_usize(*occupancy);
+            w.put_usize(*capacity);
+        }
+    }
+}
+
+/// Decodes a [`SimError`] written by [`put_sim_error`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on truncation or an unknown variant tag.
+pub fn get_sim_error(r: &mut SnapshotReader<'_>) -> Result<SimError, SnapshotError> {
+    match r.get_u8()? {
+        0 => Ok(SimError::Config(ConfigError::new(r.get_str()?))),
+        1 => Ok(SimError::Fault {
+            site: r.get_str()?,
+            detail: r.get_str()?,
+        }),
+        2 => Ok(SimError::IntegrityViolation {
+            addr: r.get_u64()?,
+            detail: r.get_str()?,
+        }),
+        3 => Ok(SimError::LinkTimeout {
+            attempts: r.get_u32()?,
+            detail: r.get_str()?,
+        }),
+        4 => Ok(SimError::Protocol {
+            detail: r.get_str()?,
+        }),
+        5 => Ok(SimError::StashOverflow {
+            occupancy: r.get_usize()?,
+            capacity: r.get_usize()?,
+        }),
+        tag => Err(SnapshotError::new(format!("unknown SimError tag {tag}"))),
+    }
+}
+
+/// Encodes an optional latched fault.
+pub fn put_opt_sim_error(w: &mut SnapshotWriter, e: &Option<SimError>) {
+    match e {
+        None => w.put_bool(false),
+        Some(e) => {
+            w.put_bool(true);
+            put_sim_error(w, e);
+        }
+    }
+}
+
+/// Decodes an optional latched fault.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on truncation or an unknown variant tag.
+pub fn get_opt_sim_error(
+    r: &mut SnapshotReader<'_>,
+) -> Result<Option<SimError>, SnapshotError> {
+    if r.get_bool()? {
+        Ok(Some(get_sim_error(r)?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Writes `bytes` to `path` crash-consistently: the data lands in a temp
+/// file in the same directory, is fsynced, and is atomically renamed over
+/// `path`. A crash at any point leaves either the old file or the new one
+/// — never a truncated hybrid.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    write_atomic_inner(path, bytes, false)
+}
+
+/// Test hook behind [`write_atomic`]: with `abort_before_rename` the
+/// function stops after writing the temp file, simulating a crash in the
+/// window where a naive writer would have left `path` truncated.
+#[doc(hidden)]
+pub fn write_atomic_inner(
+    path: &Path,
+    bytes: &[u8],
+    abort_before_rename: bool,
+) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if abort_before_rename {
+        return Ok(());
+    }
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable (best-effort: some filesystems
+    // reject opening a directory for sync).
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The parsed header + payload of a checkpoint file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointData {
+    /// FNV-1a hash of the configuration the snapshot was taken under.
+    pub config_hash: u64,
+    /// Memory cycle the simulation had completed up to.
+    pub cycle: u64,
+    /// Component state, to feed through [`Snapshot::load_state`].
+    pub payload: Vec<u8>,
+}
+
+/// Writes a checkpoint file: magic, version, config hash, cycle, payload
+/// and a trailing FNV-1a checksum over everything before it — via
+/// [`write_atomic`].
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_checkpoint(
+    path: &Path,
+    config_hash: u64,
+    cycle: u64,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(44 + payload.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&config_hash.to_le_bytes());
+    out.extend_from_slice(&cycle.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    write_atomic(path, &out)
+}
+
+/// Reads and validates a checkpoint file written by [`write_checkpoint`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on I/O failure, bad magic, unsupported
+/// version, length mismatch, or checksum mismatch.
+pub fn read_checkpoint(path: &Path) -> Result<CheckpointData, SnapshotError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| SnapshotError::new(format!("cannot read {}: {e}", path.display())))?;
+    if bytes.len() < 44 {
+        return Err(SnapshotError::new("file shorter than checkpoint header"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a64(body) != stored {
+        return Err(SnapshotError::new("checksum mismatch (corrupt checkpoint)"));
+    }
+    let mut r = SnapshotReader::new(body);
+    let magic = r.take(8)?;
+    if magic != CHECKPOINT_MAGIC {
+        return Err(SnapshotError::new("bad magic (not a checkpoint file)"));
+    }
+    let version = r.get_u32()?;
+    if version != CHECKPOINT_VERSION {
+        return Err(SnapshotError::new(format!(
+            "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+        )));
+    }
+    let config_hash = r.get_u64()?;
+    let cycle = r.get_u64()?;
+    let payload_len = r.get_usize()?;
+    let payload = r.take(payload_len)?.to_vec();
+    r.finish()?;
+    Ok(CheckpointData {
+        config_hash,
+        cycle,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "doram-snap-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = SnapshotWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_usize(12);
+        w.put_bool(true);
+        w.put_f64(-1.5e300);
+        w.put_bytes(b"abc");
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_usize().unwrap(), 12);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_f64().unwrap(), -1.5e300);
+        assert_eq!(r.get_bytes().unwrap(), b"abc");
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes[..4]);
+        assert!(r.get_u64().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(1);
+        w.put_u64(2);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        r.get_u64().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn bad_bool_byte_is_rejected() {
+        let mut r = SnapshotReader::new(&[9]);
+        assert!(r.get_bool().is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn sim_error_codec_round_trips_every_variant() {
+        let cases = vec![
+            SimError::config("bad k"),
+            SimError::fault("link", "gave up"),
+            SimError::integrity(0xabc, "tag mismatch"),
+            SimError::link_timeout(4, "72B frame"),
+            SimError::protocol("invariant"),
+            SimError::stash_overflow(130, 128),
+        ];
+        for e in cases {
+            let mut w = SnapshotWriter::new();
+            put_sim_error(&mut w, &e);
+            let bytes = w.into_bytes();
+            let mut r = SnapshotReader::new(&bytes);
+            assert_eq!(get_sim_error(&mut r).unwrap(), e);
+            r.finish().unwrap();
+        }
+        // Optional form.
+        for opt in [None, Some(SimError::protocol("x"))] {
+            let mut w = SnapshotWriter::new();
+            put_opt_sim_error(&mut w, &opt);
+            let bytes = w.into_bytes();
+            assert_eq!(
+                get_opt_sim_error(&mut SnapshotReader::new(&bytes)).unwrap(),
+                opt
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips() {
+        let path = tmp_path("ok.ckpt");
+        write_checkpoint(&path, 0x1234, 999, b"payload bytes").unwrap();
+        let data = read_checkpoint(&path).unwrap();
+        assert_eq!(data.config_hash, 0x1234);
+        assert_eq!(data.cycle, 999);
+        assert_eq!(data.payload, b"payload bytes");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        let path = tmp_path("corrupt.ckpt");
+        write_checkpoint(&path, 1, 2, b"data").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let path = tmp_path("trunc.ckpt");
+        write_checkpoint(&path, 1, 2, b"data").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+        assert!(read_checkpoint(&path).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let path = tmp_path("magic.ckpt");
+        std::fs::write(&path, b"NOTACKPT").unwrap();
+        assert!(read_checkpoint(&path).is_err());
+
+        // Valid checksum but wrong version.
+        let mut out = Vec::new();
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&99u32.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes());
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &out).unwrap();
+        let err = read_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn aborted_atomic_write_leaves_no_partial_file() {
+        let path = tmp_path("atomic.json");
+        // A previous complete write...
+        write_atomic(&path, b"{\"old\":true}").unwrap();
+        // ...then a crash mid-write of the replacement: the abort hook
+        // stops after the temp file is written but before the rename.
+        write_atomic_inner(&path, b"{\"new\":tru", true).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "{\"old\":true}", "old file must be intact");
+        // Completing the write replaces it atomically.
+        write_atomic(&path, b"{\"new\":true}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"new\":true}");
+    }
+
+    #[test]
+    fn atomic_write_to_fresh_path_works() {
+        let path = tmp_path("fresh/sub/file.bin");
+        write_atomic(&path, &[1, 2, 3]).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2, 3]);
+    }
+}

@@ -177,6 +177,86 @@ impl Histogram {
     }
 }
 
+impl crate::snapshot::Snapshot for Counter {
+    fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        let Counter(v) = self;
+        w.put_u64(*v);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.0 = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl crate::snapshot::Snapshot for RunningMean {
+    fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        let RunningMean {
+            sum,
+            count,
+            min,
+            max,
+        } = self;
+        w.put_f64(*sum);
+        w.put_u64(*count);
+        w.put_f64(*min);
+        w.put_f64(*max);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.sum = r.get_f64()?;
+        self.count = r.get_u64()?;
+        self.min = r.get_f64()?;
+        self.max = r.get_f64()?;
+        Ok(())
+    }
+}
+
+impl crate::snapshot::Snapshot for Histogram {
+    fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        let Histogram {
+            bucket_width,
+            buckets,
+            overflow,
+            total,
+        } = self;
+        w.put_u64(*bucket_width);
+        w.put_usize(buckets.len());
+        for &b in buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(*overflow);
+        w.put_u64(*total);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let width = r.get_u64()?;
+        let len = r.get_usize()?;
+        if width != self.bucket_width || len != self.buckets.len() {
+            return Err(crate::snapshot::SnapshotError::new(format!(
+                "histogram layout mismatch: snapshot {len}x{width}, target {}x{}",
+                self.buckets.len(),
+                self.bucket_width
+            )));
+        }
+        for b in &mut self.buckets {
+            *b = r.get_u64()?;
+        }
+        self.overflow = r.get_u64()?;
+        self.total = r.get_u64()?;
+        Ok(())
+    }
+}
+
 /// Geometric mean of a slice of positive values; returns 0 on empty input.
 ///
 /// The paper reports NS-App slowdowns as geometric means (Figure 4).

@@ -8,9 +8,11 @@
 //! ```
 
 use doram::core::profiling::{profile, ProfileScale};
-use doram::core::{RunReport, Scheme, Simulation, SystemConfig};
+use doram::core::{RunOptions, RunReport, Scheme, SimError, Simulation, SystemConfig};
+use doram::sim::snapshot::write_atomic;
 use doram::trace::Benchmark;
 use std::error::Error;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Parsed command-line options: `--key value` pairs plus flags.
@@ -131,11 +133,83 @@ fn print_report(r: &RunReport) {
     println!("DRAM energy : {:.3} mJ", r.total_energy_mj());
 }
 
+/// Builds the crash-safety knobs (`--checkpoint-every`, `--checkpoint-dir`,
+/// `--watchdog`) into a [`RunOptions`] and enables signal handling so Ctrl-C
+/// and SIGTERM shut the run down gracefully.
+fn parse_run_options(opts: &Opts) -> Result<RunOptions, String> {
+    let mut ro = RunOptions {
+        handle_signals: true,
+        ..RunOptions::default()
+    };
+    if let Some(v) = opts.get("checkpoint-every") {
+        let n = v
+            .parse()
+            .map_err(|_| format!("--checkpoint-every expects a number, got '{v}'"))?;
+        ro.checkpoint_every = Some(n);
+    }
+    if let Some(d) = opts.get("checkpoint-dir") {
+        ro.checkpoint_dir = Some(PathBuf::from(d));
+    }
+    if let Some(v) = opts.get("watchdog") {
+        let n = v
+            .parse()
+            .map_err(|_| format!("--watchdog expects a number, got '{v}'"))?;
+        ro.watchdog_budget = Some(n);
+    }
+    Ok(ro)
+}
+
+/// Emits `text` to `--out FILE` via the crash-consistent writer when the flag
+/// is present, otherwise to stdout.
+fn emit_output(opts: &Opts, text: &str) -> Result<(), Box<dyn Error>> {
+    match opts.get("out") {
+        Some(path) => {
+            let path = Path::new(path);
+            write_atomic(path, text.as_bytes())?;
+            eprintln!("wrote {}", path.display());
+            Ok(())
+        }
+        None => {
+            println!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// Minimal JSON report for a run that was interrupted by a signal: enough
+/// for an orchestrator to find the checkpoint and resume.
+fn partial_report_json(at: u64, checkpoint: Option<&Path>) -> String {
+    let ckpt = match checkpoint {
+        Some(p) => format!("\"{}\"", p.display().to_string().replace('\\', "\\\\").replace('"', "\\\"")),
+        None => "null".to_string(),
+    };
+    format!("{{\"status\":\"interrupted\",\"mem_cycles\":{at},\"checkpoint\":{ckpt}}}")
+}
+
 fn cmd_run(opts: &Opts) -> Result<(), Box<dyn Error>> {
     let cfg = build_config(opts)?;
-    let report = Simulation::new(cfg)?.run()?;
-    if opts.has_flag("json") {
-        println!("{}", doram::core::report::report_json(&report));
+    let run_opts = parse_run_options(opts)?;
+    let sim = match opts.get("resume") {
+        Some(path) => Simulation::resume(cfg, Path::new(path))?,
+        None => Simulation::new(cfg)?,
+    };
+    let report = match sim.run_with(&run_opts) {
+        Ok(report) => report,
+        Err(SimError::Interrupted { at, checkpoint }) => {
+            eprintln!(
+                "interrupted at memory cycle {at}{}",
+                match &checkpoint {
+                    Some(p) => format!("; checkpoint written to {}", p.display()),
+                    None => "; no checkpoint directory configured".to_string(),
+                }
+            );
+            emit_output(opts, &partial_report_json(at, checkpoint.as_deref()))?;
+            return Ok(());
+        }
+        Err(e) => return Err(Box::new(e)),
+    };
+    if opts.has_flag("json") || opts.get("out").is_some() {
+        emit_output(opts, &doram::core::report::report_json(&report))?;
     } else {
         print_report(&report);
     }
@@ -203,11 +277,13 @@ fn cmd_list() {
     }
     println!("\nschemes: solo | 7ns-4ch | 7ns-3ch | baseline | secmem | partition | doram (--k 0..3 --c 0..7)");
     println!("flags  : --merge (split-read merging) --pipeline (SD pipelining)");
+    println!("crash-safety: --checkpoint-every N --checkpoint-dir DIR --resume FILE --watchdog N");
 }
 
 const USAGE: &str = "usage: doram-cli <run|sweep-c|profile|check|list> [--bench NAME] [--scheme NAME]
     [--k 0..3] [--c 0..7] [--accesses N] [--seed N] [--dummy-interval T]
-    [--merge] [--pipeline] [--json]";
+    [--merge] [--pipeline] [--json] [--out FILE]
+    [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--watchdog N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -298,6 +374,42 @@ mod tests {
     fn benchmark_parsing() {
         assert_eq!(parse_benchmark(&opts(&["--bench", "tigr"])).unwrap(), Benchmark::Tigr);
         assert!(parse_benchmark(&opts(&["--bench", "nope"])).is_err());
+    }
+
+    #[test]
+    fn run_options_parsing() {
+        let ro = parse_run_options(&opts(&[
+            "--checkpoint-every",
+            "5000",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--watchdog",
+            "100000",
+        ]))
+        .unwrap();
+        assert_eq!(ro.checkpoint_every, Some(5_000));
+        assert_eq!(ro.checkpoint_dir, Some(PathBuf::from("/tmp/ck")));
+        assert_eq!(ro.watchdog_budget, Some(100_000));
+        assert!(ro.handle_signals);
+
+        let ro = parse_run_options(&opts(&[])).unwrap();
+        assert_eq!(ro.checkpoint_every, None);
+        assert!(ro.handle_signals);
+
+        assert!(parse_run_options(&opts(&["--watchdog", "soon"])).is_err());
+        assert!(parse_run_options(&opts(&["--checkpoint-every", "x"])).is_err());
+    }
+
+    #[test]
+    fn partial_report_shape() {
+        assert_eq!(
+            partial_report_json(42, Some(Path::new("/tmp/c.dorc"))),
+            "{\"status\":\"interrupted\",\"mem_cycles\":42,\"checkpoint\":\"/tmp/c.dorc\"}"
+        );
+        assert_eq!(
+            partial_report_json(7, None),
+            "{\"status\":\"interrupted\",\"mem_cycles\":7,\"checkpoint\":null}"
+        );
     }
 
     #[test]
