@@ -29,6 +29,7 @@
 //! link a deterministic function of (config, fault plan, send sequence) —
 //! a faulty run delivers exactly the same frames as a clean run, later.
 
+use doram_obs::SharedRecorder;
 use doram_sim::fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultRates};
 use doram_sim::{MemCycle, SimError};
 use std::collections::VecDeque;
@@ -166,8 +167,8 @@ struct Direction<M> {
     tx: VecDeque<(u64, M)>,
     /// Serializer frees at this cycle.
     tx_busy_until: MemCycle,
-    /// In flight: (arrival cycle, message), arrival-ordered.
-    flying: VecDeque<(MemCycle, M)>,
+    /// In flight: (arrival cycle, wire bytes, message), arrival-ordered.
+    flying: VecDeque<(MemCycle, u64, M)>,
     /// Total bytes ever accepted (for utilization accounting).
     bytes_sent: u64,
     /// Fault-injection state for this direction.
@@ -178,6 +179,8 @@ struct Direction<M> {
     fault: Option<SimError>,
     /// Which end this direction feeds, for fault messages.
     label: &'static str,
+    /// Trace recorder; `None` (the default) keeps the hot path silent.
+    obs: Option<SharedRecorder>,
 }
 
 impl<M> Direction<M> {
@@ -193,6 +196,7 @@ impl<M> Direction<M> {
             stats: LinkStats::default(),
             fault: None,
             label,
+            obs: None,
         }
     }
 
@@ -276,18 +280,24 @@ impl<M> Direction<M> {
             // for determinism: the frame always arrives, just later.
             let penalty = self.roll_recovery(now, ser_cycles);
             let arrival = done + self.cfg.latency + MemCycle(penalty);
+            if let Some(obs) = &self.obs {
+                obs.borrow_mut().link_tx(now.0, bytes);
+            }
             // Keep arrival order sorted: a replayed frame lands after
             // frames sent later (the link delivers in arrival order).
             let pos = self
                 .flying
                 .iter()
-                .position(|&(t, _)| t > arrival)
+                .position(|&(t, _, _)| t > arrival)
                 .unwrap_or(self.flying.len());
-            self.flying.insert(pos, (arrival, msg));
+            self.flying.insert(pos, (arrival, bytes, msg));
         }
-        while let Some(&(arrive, _)) = self.flying.front() {
+        while let Some(&(arrive, _, _)) = self.flying.front() {
             if arrive <= now {
-                let (_, msg) = self.flying.pop_front().expect("front checked");
+                let (_, bytes, msg) = self.flying.pop_front().expect("front checked");
+                if let Some(obs) = &self.obs {
+                    obs.borrow_mut().link_rx(now.0, bytes);
+                }
                 out.push(msg);
             } else {
                 break;
@@ -317,6 +327,7 @@ impl<M> Direction<M> {
             stats,
             fault,
             label: _,
+            obs: _, // re-wired by the host after restore
         } = self;
         w.put_usize(tx.len());
         for (bytes, msg) in tx {
@@ -325,8 +336,9 @@ impl<M> Direction<M> {
         }
         w.put_u64(tx_busy_until.0);
         w.put_usize(flying.len());
-        for (arrival, msg) in flying {
+        for (arrival, bytes, msg) in flying {
             w.put_u64(arrival.0);
+            w.put_u64(*bytes);
             enc(msg, w);
         }
         w.put_u64(*bytes_sent);
@@ -355,8 +367,9 @@ impl<M> Direction<M> {
         self.flying.clear();
         for _ in 0..r.get_usize()? {
             let arrival = MemCycle(r.get_u64()?);
+            let bytes = r.get_u64()?;
             let msg = dec(r)?;
-            self.flying.push_back((arrival, msg));
+            self.flying.push_back((arrival, bytes, msg));
         }
         self.bytes_sent = r.get_u64()?;
         self.injector.load_state(r)?;
@@ -389,6 +402,14 @@ impl<M> Link<M> {
     pub fn set_fault_plan(&mut self, plan: &FaultPlan, site: u64) {
         self.to_mem.injector = plan.injector(site * 2);
         self.to_cpu.injector = plan.injector(site * 2 + 1);
+    }
+
+    /// Attaches (or detaches) a trace recorder. Both directions emit
+    /// `link_tx` when a frame enters the serializer and `link_rx` when it
+    /// is delivered.
+    pub fn set_obs(&mut self, obs: Option<SharedRecorder>) {
+        self.to_mem.obs = obs.clone();
+        self.to_cpu.obs = obs;
     }
 
     /// Queues a message toward the memory side.
@@ -734,6 +755,31 @@ mod tests {
         assert_eq!(delivered, 100);
         assert!(link.stats().retransmissions > 0);
         assert!(link.fault_counts().corrupt_frames > 0);
+    }
+
+    #[test]
+    fn recorder_sees_tx_and_rx_frames() {
+        use doram_obs::{EventKind, Recorder, FILTER_ALL};
+        let mut link: Link<u32> = Link::new(LinkConfig::default());
+        let rec = Recorder::shared(64, FILTER_ALL, 1_000);
+        link.set_obs(Some(rec.clone()));
+        link.send_to_mem(72, 1u32).unwrap();
+        link.send_to_cpu(8, 2u32).unwrap();
+        drain(&mut link, 40);
+        let events = rec.borrow().events();
+        let tx: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::LinkTx)
+            .map(|e| e.value)
+            .collect();
+        let rx: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::LinkRx)
+            .map(|e| e.value)
+            .collect();
+        assert_eq!(tx, vec![72, 8], "one tx event per frame, wire bytes as value");
+        assert_eq!(rx.len(), 2, "every frame is delivered exactly once");
+        assert!(rx.contains(&72) && rx.contains(&8));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::onchip_oram::{get_oram_job, put_oram_job, OramJob};
 use doram_dram::MemOp;
+use doram_obs::SharedRecorder;
 use doram_sim::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use doram_sim::stats::Counter;
 use doram_sim::{CpuCycle, MemCycle, RequestId};
@@ -44,6 +45,8 @@ pub struct CpuEngine {
     /// Pacing interval in memory cycles (⌈t / 4⌉ for t CPU cycles).
     interval: MemCycle,
     stats: EngineStats,
+    /// Trace recorder; `None` (the default) keeps the hot path silent.
+    obs: Option<SharedRecorder>,
 }
 
 impl CpuEngine {
@@ -56,12 +59,24 @@ impl CpuEngine {
             next_send_at: MemCycle::ZERO,
             interval: CpuCycle(t_cpu_cycles).to_mem_cycles_ceil(),
             stats: EngineStats::default(),
+            obs: None,
         }
     }
 
     /// Engine statistics.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Attaches (or detaches) a trace recorder; sends and responses emit
+    /// access-span events.
+    pub fn set_obs(&mut self, obs: Option<SharedRecorder>) {
+        self.obs = obs;
+    }
+
+    /// Jobs queued by the S-App core and not yet sent.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Whether the S-App core can hand over another access.
@@ -92,6 +107,9 @@ impl CpuEngine {
             OramJob::Real { .. } => self.stats.real_sent.inc(),
             OramJob::Dummy => self.stats.dummies_sent.inc(),
         }
+        if let Some(obs) = &self.obs {
+            obs.borrow_mut().engine_send(now.0, matches!(job, OramJob::Real { .. }));
+        }
         self.awaiting = true;
         Some(job)
     }
@@ -103,6 +121,9 @@ impl CpuEngine {
         self.awaiting = false;
         self.next_send_at = now + self.interval;
         self.stats.responses.inc();
+        if let Some(obs) = &self.obs {
+            obs.borrow_mut().engine_response(now.0, matches!(job, OramJob::Real { .. }));
+        }
         match job {
             OramJob::Real { id, .. } => id,
             OramJob::Dummy => None,
@@ -139,6 +160,7 @@ impl Snapshot for CpuEngine {
             next_send_at,
             interval: _,
             stats,
+            obs: _, // re-wired by the host after restore
         } = self;
         w.put_usize(queue.len());
         for job in queue {

@@ -46,6 +46,7 @@ pub mod secure_channel;
 pub mod system;
 
 pub use config::{Scheme, SystemConfig, SystemConfigBuilder};
+pub use doram_obs::{CoreStall, SharedRecorder, StallDump};
 pub use metrics::{FaultReport, RunReport};
 pub use secure_channel::SdFaultStats;
 pub use system::{RunOptions, SimError, Simulation};

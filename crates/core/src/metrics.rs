@@ -21,7 +21,7 @@ pub struct OramSummary {
 
 /// Fault-injection and recovery activity of a run, aggregated over every
 /// serial link and the SD's integrity engine.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct FaultReport {
     /// Faults injected, by kind (links + SD DRAM).
     pub injected: FaultCounts,
@@ -42,6 +42,40 @@ pub struct FaultReport {
     /// Secure sub-channels latched into fail-stop quarantine.
     pub quarantined_subs: Vec<usize>,
 }
+
+/// `quarantined_subs` is a *set* of sub-channel indices; aggregation
+/// order must not affect equality, so comparison sorts both sides.
+impl PartialEq for FaultReport {
+    fn eq(&self, other: &FaultReport) -> bool {
+        let FaultReport {
+            injected,
+            retransmissions,
+            crc_errors,
+            timeouts,
+            link_recovery_cycles,
+            integrity_failures,
+            refetches,
+            sd_recovery_cycles,
+            quarantined_subs,
+        } = self;
+        let sorted = |v: &[usize]| {
+            let mut s = v.to_vec();
+            s.sort_unstable();
+            s
+        };
+        *injected == other.injected
+            && *retransmissions == other.retransmissions
+            && *crc_errors == other.crc_errors
+            && *timeouts == other.timeouts
+            && *link_recovery_cycles == other.link_recovery_cycles
+            && *integrity_failures == other.integrity_failures
+            && *refetches == other.refetches
+            && *sd_recovery_cycles == other.sd_recovery_cycles
+            && sorted(quarantined_subs) == sorted(&other.quarantined_subs)
+    }
+}
+
+impl Eq for FaultReport {}
 
 impl FaultReport {
     /// Whether any fault fired or any recovery ran.
@@ -179,6 +213,20 @@ mod tests {
         assert_eq!(r.ns_exec_worst(), 0);
         assert_eq!(r.ns_read_percentile(0.5), None);
         assert_eq!(r.total_energy_mj(), 0.0);
+    }
+
+    #[test]
+    fn fault_report_equality_ignores_quarantine_order() {
+        let report = |subs: Vec<usize>| FaultReport {
+            quarantined_subs: subs,
+            ..FaultReport::default()
+        };
+        assert_eq!(report(vec![2, 1]), report(vec![1, 2]));
+        assert_ne!(report(vec![1]), report(vec![1, 2]));
+        // Non-set fields still participate.
+        let mut other = report(vec![1, 2]);
+        other.refetches = 1;
+        assert_ne!(report(vec![2, 1]), other);
     }
 
     #[test]

@@ -135,6 +135,8 @@ pub struct OramFsm {
     /// bandwidth).
     issue_per_tick: usize,
     stats: OramStats,
+    /// Trace recorder; `None` (the default) keeps the hot path silent.
+    obs: Option<doram_obs::SharedRecorder>,
 }
 
 impl OramFsm {
@@ -157,7 +159,20 @@ impl OramFsm {
             pipeline: false,
             issue_per_tick: 64,
             stats: OramStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attaches (or detaches) a trace recorder. Starting a queued job
+    /// marks the position-map lookup of the next waiting access, so the
+    /// recorder can attribute subsequent DRAM events to it.
+    pub fn set_obs(&mut self, obs: Option<doram_obs::SharedRecorder>) {
+        self.obs = obs;
+    }
+
+    /// Jobs queued and not yet started.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Enables or disables pipelining of the buffered access's read phase
@@ -297,6 +312,9 @@ impl OramFsm {
                     };
                 }
             } else if let Some(job) = self.queue.pop_front() {
+                if let Some(obs) = &self.obs {
+                    obs.borrow_mut().sd_access_started(now.0);
+                }
                 let blocks = self.plan_job(job);
                 self.phase = Phase::Read {
                     job,
@@ -314,6 +332,9 @@ impl OramFsm {
             && matches!(self.phase, Phase::Write { .. })
         {
             if let Some(job) = self.queue.pop_front() {
+                if let Some(obs) = &self.obs {
+                    obs.borrow_mut().sd_access_started(now.0);
+                }
                 let blocks = self.plan_job(job);
                 self.overlap = Some(OverlapRead {
                     job,
@@ -632,6 +653,7 @@ impl Snapshot for OramFsm {
             pipeline: _,
             issue_per_tick: _,
             stats,
+            obs: _, // re-wired by the host after restore
         } = self;
         posmap.save_state(w);
         rng.save_state(w);

@@ -22,6 +22,7 @@ use doram_bob::{Link, LinkConfig, LinkStats};
 use doram_crypto::{BucketIntegrity, DIGEST_BYTES};
 use doram_dram::request::{get_completion, get_mem_request, put_completion, put_mem_request};
 use doram_dram::{Completion, MemOp, MemRequest, RequestClass, SubChannel, SubChannelConfig};
+use doram_obs::{EventKind, SharedRecorder, Subsystem};
 use doram_oram::plan::{BlockRef, Placement, PlanConfig};
 use doram_oram::verified::RecoveryPolicy;
 use doram_sim::fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan};
@@ -354,6 +355,8 @@ pub struct SecureChannel {
     sd_integrity: SdIntegrity,
     /// Recovery reads waiting for sub-channel capacity: (sub, request).
     pending_refetch: VecDeque<(usize, MemRequest)>,
+    /// Trace recorder; `None` (the default) keeps the hot path silent.
+    obs: Option<SharedRecorder>,
 }
 
 impl SecureChannel {
@@ -397,7 +400,31 @@ impl SecureChannel {
                 .then(|| vec![SplitBatch::new(); 8]),
             sd_integrity: SdIntegrity::new(&cfg.fault_plan, cfg.recovery, cfg.seed, n_subs),
             pending_refetch: VecDeque::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches (or detaches) a trace recorder, wiring the serial link,
+    /// every sub-channel, and the SD's FSM to the same handle. The channel
+    /// itself emits the SD-side access-span events (arrival, read-phase
+    /// done, access done) plus integrity fault/recovery instants.
+    pub fn set_obs(&mut self, obs: Option<SharedRecorder>) {
+        self.link.set_obs(obs.clone());
+        for (i, sub) in self.subs.iter_mut().enumerate() {
+            sub.set_obs(obs.clone(), i as u64);
+        }
+        self.fsm.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Jobs buffered at the SD and not yet started (for telemetry).
+    pub fn sd_queue_len(&self) -> usize {
+        self.fsm.queue_len()
+    }
+
+    /// SD → CPU messages waiting for link capacity (for telemetry).
+    pub fn out_pending_len(&self) -> usize {
+        self.out_pending.len()
     }
 
     /// ORAM controller statistics.
@@ -559,6 +586,10 @@ impl SecureChannel {
             match msg {
                 SecMsg::NsReq(r) => self.mc_pending.push_back(r),
                 SecMsg::SecReq(job) => {
+                    if let Some(obs) = &self.obs {
+                        obs.borrow_mut()
+                            .sd_arrival(now.0, matches!(job, OramJob::Real { .. }));
+                    }
                     let accepted = self.fsm.submit(job);
                     debug_assert!(accepted, "SD buffer overflow: protocol allows at most one buffered request");
                 }
@@ -629,10 +660,19 @@ impl SecureChannel {
         for e in events {
             match e {
                 FsmEvent::ReadPhaseDone(job) => {
+                    if let Some(obs) = &self.obs {
+                        obs.borrow_mut()
+                            .sd_read_done(now.0, matches!(job, OramJob::Real { .. }));
+                    }
                     // Response packet released after the read phase.
                     self.out_pending.push_back(SecMsg::SecResp(job));
                 }
-                FsmEvent::AccessDone(_) => {}
+                FsmEvent::AccessDone(job) => {
+                    if let Some(obs) = &self.obs {
+                        obs.borrow_mut()
+                            .sd_access_done(now.0, matches!(job, OramJob::Real { .. }));
+                    }
+                }
             }
         }
 
@@ -653,14 +693,35 @@ impl SecureChannel {
             self.subs[si].tick(now, &mut self.scratch);
             for c in self.scratch.drain(..) {
                 if c.request.class == RequestClass::Oram {
-                    match self
+                    let fails_before = self.sd_integrity.integrity_failures;
+                    let verdict = self
                         .sd_integrity
-                        .on_oram_completion(si, &c, now, &mut self.local_ids)
-                    {
+                        .on_oram_completion(si, &c, now, &mut self.local_ids);
+                    if let Some(obs) = &self.obs {
+                        if self.sd_integrity.integrity_failures > fails_before {
+                            obs.borrow_mut().instant(
+                                Subsystem::Fault,
+                                EventKind::FaultDetected,
+                                now.0,
+                                si as u64,
+                            );
+                        }
+                    }
+                    match verdict {
                         SdVerdict::Deliver(id) => {
                             self.fsm.on_block_complete(id);
                         }
-                        SdVerdict::Refetch(req) => self.pending_refetch.push_back((si, req)),
+                        SdVerdict::Refetch(req) => {
+                            if let Some(obs) = &self.obs {
+                                obs.borrow_mut().instant(
+                                    Subsystem::Fault,
+                                    EventKind::Recovery,
+                                    now.0,
+                                    si as u64,
+                                );
+                            }
+                            self.pending_refetch.push_back((si, req));
+                        }
                     }
                 } else {
                     match c.request.op {
@@ -895,6 +956,7 @@ impl Snapshot for SecureChannel {
             merge_bufs,
             sd_integrity,
             pending_refetch,
+            obs: _, // re-wired by the host after restore
         } = self;
         link.save_state_with(w, put_sec_msg);
         w.put_usize(subs.len());

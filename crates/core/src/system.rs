@@ -17,6 +17,7 @@ use crate::secure_channel::{
 };
 use doram_cpu::{CoreConfig, MemoryPort, TraceCore};
 use doram_dram::{Completion, MemOp, MemRequest, RequestClass};
+use doram_obs::{CoreStall, SharedRecorder, StallDump};
 use doram_oram::plan::PlanConfig;
 use doram_oram::split::SplitConfig;
 use doram_oram::tree::TreeGeometry;
@@ -73,8 +74,10 @@ pub enum SimError {
         at: u64,
         /// The no-progress budget that elapsed.
         budget: u64,
-        /// Diagnostic dump of every component's dynamic state.
-        dump: String,
+        /// Structured diagnostic dump of every component's dynamic state
+        /// (per-core progress, blocked reads, backend summaries, and —
+        /// when tracing is on — latest metrics and the event-log tail).
+        dump: StallDump,
     },
     /// The run was interrupted (Ctrl-C / SIGTERM or
     /// [`request_shutdown`]) and shut down gracefully.
@@ -212,6 +215,9 @@ fn install_signal_handlers() {}
 fn config_hash(cfg: &SystemConfig) -> u64 {
     fnv1a64(format!("{cfg:?}").as_bytes())
 }
+
+/// Event-log tail length carried in a [`StallDump`].
+const STALL_EVENT_TAIL: usize = 16;
 
 /// One core and its bookkeeping.
 struct CoreSlot {
@@ -745,6 +751,22 @@ pub struct Simulation {
     mem: MemoryState,
     /// Memory cycles completed so far (non-zero after a resume).
     cycle: u64,
+    /// Trace recorder shared with every instrumented component; `None`
+    /// (the default) keeps the whole stack silent. Deliberately not part
+    /// of [`SystemConfig`]: tracing is a run option and must not change
+    /// the checkpoint configuration hash.
+    obs: Option<SharedRecorder>,
+}
+
+/// Hands the shared recorder to every instrumented component of the
+/// backend. Only the D-ORAM backend is instrumented end to end (the
+/// paper's access path: engine → link → SD → sub-channels); other
+/// schemes keep the recorder for metrics sampling alone.
+fn wire_obs(backend: &mut Backend, obs: &SharedRecorder) {
+    if let Backend::DOram { secure, engine, .. } = backend {
+        secure.set_obs(Some(obs.clone()));
+        engine.set_obs(Some(obs.clone()));
+    }
 }
 
 impl Simulation {
@@ -901,7 +923,35 @@ impl Simulation {
             cores,
             mem,
             cycle: 0,
+            obs: None,
         })
+    }
+
+    /// Attaches the cycle-accurate trace recorder, wiring it into every
+    /// instrumented component, and returns the shared handle (clone it
+    /// before [`run`](Simulation::run) consumes the simulation to export
+    /// the trace afterwards). Idempotent: called on a simulation that
+    /// already records — e.g. after [`Simulation::resume`] restored a
+    /// traced checkpoint — it only updates the subsystem filter and the
+    /// metrics sampling interval, so a resumed run continues its trace
+    /// seamlessly.
+    pub fn enable_tracing(
+        &mut self,
+        ring_capacity: usize,
+        filter: u8,
+        metrics_every: u64,
+    ) -> SharedRecorder {
+        if let Some(obs) = &self.obs {
+            let mut rec = obs.borrow_mut();
+            rec.set_filter(filter);
+            rec.metrics.set_every(metrics_every);
+            drop(rec);
+            return obs.clone();
+        }
+        let obs = doram_obs::Recorder::shared(ring_capacity, filter, metrics_every);
+        wire_obs(&mut self.mem.backend, &obs);
+        self.obs = Some(obs.clone());
+        obs
     }
 
     /// Rebuilds the simulation from `cfg` and restores its dynamic state
@@ -950,13 +1000,16 @@ impl Simulation {
         Ok(sim)
     }
 
-    /// Serializes the complete dynamic state (cycle, cores, memory).
+    /// Serializes the complete dynamic state (cycle, cores, memory, and —
+    /// when tracing is on — the recorder, so a resumed run continues its
+    /// trace seamlessly).
     fn snapshot_payload(&self) -> Vec<u8> {
         let Simulation {
             cfg: _,
             cores,
             mem,
             cycle,
+            obs,
         } = self;
         let mut w = SnapshotWriter::new();
         w.put_u64(*cycle);
@@ -965,6 +1018,16 @@ impl Simulation {
             slot.save_state(&mut w);
         }
         mem.save_state(&mut w);
+        match obs {
+            None => w.put_bool(false),
+            Some(rec) => {
+                w.put_bool(true);
+                let rec = rec.borrow();
+                let (_, _, capacity) = rec.ring_stats();
+                w.put_usize(capacity);
+                rec.save_state(&mut w);
+            }
+        }
         w.into_bytes()
     }
 
@@ -976,6 +1039,7 @@ impl Simulation {
             cores,
             mem,
             cycle,
+            obs,
         } = self;
         let mut r = SnapshotReader::new(payload);
         *cycle = r.get_u64()?;
@@ -990,6 +1054,22 @@ impl Simulation {
             slot.load_state(&mut r, cfg, core_idx, mem.sapp_present)?;
         }
         mem.load_state(&mut r)?;
+        if r.get_bool()? {
+            let capacity = r.get_usize()?;
+            // Filter and sampling interval are run options, not state;
+            // `enable_tracing` overrides these defaults when the resumed
+            // run passes its own.
+            let rec = obs.take().unwrap_or_else(|| {
+                doram_obs::Recorder::shared(
+                    capacity,
+                    doram_obs::FILTER_ALL,
+                    doram_obs::DEFAULT_METRICS_EVERY,
+                )
+            });
+            rec.borrow_mut().load_state(&mut r)?;
+            wire_obs(&mut mem.backend, &rec);
+            *obs = Some(rec);
+        }
         r.finish()
     }
 
@@ -1011,22 +1091,101 @@ impl Simulation {
         retired + self.mem.backend.column_ops()
     }
 
-    /// Diagnostic dump of every component's dynamic state for
-    /// [`SimError::Stalled`].
-    fn stall_dump(&self) -> String {
-        let mut lines = Vec::new();
-        for (i, slot) in self.cores.iter().enumerate() {
-            lines.push(format!(
-                "core{i}{}: retired={} finished={} restarts={}",
-                if slot.is_sapp { " (S-App)" } else { "" },
-                slot.core.retired(),
-                slot.core.finished(),
-                slot.restarts
-            ));
+    /// Structured diagnostic dump of every component's dynamic state for
+    /// [`SimError::Stalled`]. When tracing is on, the dump also carries
+    /// the latest latched metrics and the tail of the event log — the
+    /// last things that happened before progress stopped.
+    fn stall_dump(&self) -> StallDump {
+        let cores = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| CoreStall {
+                index: i,
+                is_sapp: slot.is_sapp,
+                retired: slot.core.retired(),
+                finished: slot.core.finished(),
+                restarts: slot.restarts,
+            })
+            .collect();
+        let (metrics, recent_events) = match &self.obs {
+            Some(obs) => {
+                let rec = obs.borrow();
+                (rec.metrics.latest(), rec.recent_events(STALL_EVENT_TAIL))
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        StallDump {
+            cores,
+            blocked_reads: self.mem.owners.len() as u64,
+            components: self.mem.backend.debug_lines(),
+            metrics,
+            recent_events,
         }
-        lines.push(format!("blocked reads: {}", self.mem.owners.len()));
-        lines.extend(self.mem.backend.debug_lines());
-        lines.join("\n")
+    }
+
+    /// Samples the telemetry gauges into the recorder's time-series when
+    /// the sampling interval elapses. A single branch when tracing is off.
+    fn sample_metrics(&self, m: u64) {
+        let Some(obs) = &self.obs else { return };
+        let mut rec = obs.borrow_mut();
+        if !rec.metrics.due(m) {
+            return;
+        }
+        rec.metrics.set("blocked_reads", self.mem.owners.len() as f64);
+        match &self.mem.backend {
+            Backend::Plain { fabric }
+            | Backend::BaselineOram { fabric, .. }
+            | Backend::SecMem { fabric, .. } => {
+                for i in 0..fabric.len() {
+                    rec.metrics
+                        .set(&format!("ch{i}.util"), fabric.channel(i).bus_utilization());
+                }
+            }
+            Backend::DOram {
+                normals,
+                secure,
+                engine,
+                split_fwd,
+                pending_split,
+                pending_deliver,
+            } => {
+                let st = engine.stats();
+                let real = st.real_sent.get();
+                let dummy = st.dummies_sent.get();
+                rec.metrics.set("engine.queue", engine.queue_len() as f64);
+                rec.metrics.set("engine.sent", (real + dummy) as f64);
+                let rate = if real + dummy > 0 {
+                    real as f64 / (real + dummy) as f64
+                } else {
+                    0.0
+                };
+                rec.metrics.set("engine.real_rate", rate);
+                rec.metrics.set("sd.queue", secure.sd_queue_len() as f64);
+                rec.metrics.set("sd.out_pending", secure.out_pending_len() as f64);
+                for i in 0..secure.sub_channel_count() {
+                    let sub = secure.sub_channel(i);
+                    rec.metrics.set(&format!("sd.sub{i}.queue"), sub.queued() as f64);
+                    rec.metrics
+                        .set(&format!("sd.sub{i}.util"), sub.stats().bus_utilization());
+                }
+                for i in 0..normals.len() {
+                    rec.metrics
+                        .set(&format!("ch{}.util", i + 1), normals.channel(i).bus_utilization());
+                }
+                let sd = secure.sd_fault_stats();
+                let mut link = secure.link_stats();
+                link.absorb(&normals.link_stats());
+                rec.metrics
+                    .set("fault.integrity_failures", sd.integrity_failures as f64);
+                rec.metrics.set("fault.refetches", sd.refetches as f64);
+                rec.metrics
+                    .set("fault.retransmissions", link.retransmissions as f64);
+                let split_backlog = split_fwd.len() + pending_split.len() + pending_deliver.len();
+                rec.metrics.set("split.backlog", split_backlog as f64);
+            }
+        }
+        rec.metrics.sample(m);
     }
 
     /// Like [`run`](Simulation::run), but records every DRAM device
@@ -1193,6 +1352,7 @@ impl Simulation {
 
             // Memory side.
             tick_memory(&mut self.mem, now);
+            self.sample_metrics(m);
 
             // Deliver read completions to cores.
             for (core_idx, id) in std::mem::take(&mut self.mem.ready_reads) {
@@ -1986,16 +2146,27 @@ mod tests {
             watchdog_budget: Some(50_000),
             ..RunOptions::default()
         };
-        let err = Simulation::new(cfg).unwrap().run_with(&opts).unwrap_err();
+        let mut sim = Simulation::new(cfg).unwrap();
+        sim.enable_tracing(1 << 12, doram_obs::FILTER_ALL, 10_000);
+        let err = sim.run_with(&opts).unwrap_err();
         match &err {
             SimError::Stalled { at, budget, dump } => {
                 assert_eq!(*budget, 50_000);
                 assert!(*at < 10_000_000, "watchdog must beat the cycle cap");
-                // The dump names every component class.
-                assert!(dump.contains("core0"), "{dump}");
-                assert!(dump.contains("secure["), "{dump}");
-                assert!(dump.contains("engine["), "{dump}");
-                assert!(dump.contains("blocked reads"), "{dump}");
+                // The structured dump carries every component class…
+                assert_eq!(dump.cores[0].index, 0);
+                assert!(dump.cores[0].is_sapp);
+                assert!(dump.components.iter().any(|c| c.starts_with("secure[")));
+                assert!(dump.components.iter().any(|c| c.starts_with("engine[")));
+                // …and, with tracing on, metrics and the event tail.
+                assert!(!dump.metrics.is_empty(), "{dump}");
+                assert!(!dump.recent_events.is_empty(), "{dump}");
+                // The rendered form keeps the legacy grep targets.
+                let text = dump.to_string();
+                assert!(text.contains("core0"), "{text}");
+                assert!(text.contains("secure["), "{text}");
+                assert!(text.contains("engine["), "{text}");
+                assert!(text.contains("blocked reads"), "{text}");
             }
             other => panic!("expected Stalled, got {other:?}"),
         }

@@ -121,6 +121,9 @@ pub struct SubChannel {
     /// Consecutive cycles with queued work but no column issued; drives
     /// the work-conserving fallback past the epoch owner.
     stall_cycles: u64,
+    /// Trace recorder plus this sub-channel's index in the trace; `None`
+    /// (the default) keeps the hot path silent.
+    obs: Option<(doram_obs::SharedRecorder, u64)>,
 }
 
 impl SubChannel {
@@ -159,7 +162,14 @@ impl SubChannel {
             auto_precharge: Vec::new(),
             command_trace: None,
             stall_cycles: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches (or detaches) a trace recorder; ORAM-class requests emit
+    /// `dram_issue`/`dram_done` events tagged with `sub_idx`.
+    pub fn set_obs(&mut self, rec: Option<doram_obs::SharedRecorder>, sub_idx: u64) {
+        self.obs = rec.map(|r| (r, sub_idx));
     }
 
     /// Starts recording every device command for post-hoc JEDEC
@@ -256,6 +266,11 @@ impl SubChannel {
             MemOp::Read => self.read_q.push_back(p),
             MemOp::Write => self.write_q.push_back(p),
         }
+        if req.class == RequestClass::Oram {
+            if let Some((rec, sub_idx)) = &self.obs {
+                rec.borrow_mut().dram_issue(req.arrival.0, *sub_idx);
+            }
+        }
         Ok(())
     }
 
@@ -276,6 +291,11 @@ impl SubChannel {
                 match f.req.op {
                     MemOp::Read => self.stats.read_latency.record(lat),
                     MemOp::Write => self.stats.write_latency.record(lat),
+                }
+                if f.req.class == RequestClass::Oram {
+                    if let Some((rec, sub_idx)) = &self.obs {
+                        rec.borrow_mut().dram_done(f.finish.0, *sub_idx);
+                    }
                 }
                 completed.push(Completion {
                     request: f.req,
@@ -635,6 +655,7 @@ impl doram_sim::snapshot::Snapshot for SubChannel {
             auto_precharge,
             command_trace: _,
             stall_cycles,
+            obs: _, // re-wired by the host after restore
         } = self;
         cfg.arbiter.save_state(w);
         w.put_usize(banks.len());
@@ -1029,6 +1050,24 @@ mod tests {
         }
         assert_eq!(done.len(), 8);
         assert_eq!(sc.stats().activates.get(), 1, "one ACT serves the streak");
+    }
+
+    #[test]
+    fn recorder_sees_only_oram_class_requests() {
+        use doram_obs::{EventKind, Recorder, FILTER_ALL};
+        let mut sc = SubChannel::new(SubChannelConfig::default());
+        let rec = Recorder::shared(64, FILTER_ALL, 1_000);
+        sc.set_obs(Some(rec.clone()), 3);
+        let mut oram = req(0, MemOp::Read, 0, 0);
+        oram.class = RequestClass::Oram;
+        sc.enqueue(oram).unwrap();
+        sc.enqueue(req(1, MemOp::Read, 64, 0)).unwrap(); // Normal: silent
+        run_until_n(&mut sc, 2, 1000);
+        let events = rec.borrow().events();
+        let issues = events.iter().filter(|e| e.kind == EventKind::DramIssue).count();
+        let dones = events.iter().filter(|e| e.kind == EventKind::DramDone).count();
+        assert_eq!((issues, dones), (1, 1), "only the ORAM request traces");
+        assert!(events.iter().all(|e| e.value == 3), "tagged with the sub index");
     }
 
     #[test]

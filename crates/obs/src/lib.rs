@@ -1,0 +1,44 @@
+//! Cycle-accurate tracing and telemetry for the D-ORAM stack.
+//!
+//! The paper's argument rests on *where cycles go* — secure-channel
+//! contention, SD path bursts, stash pressure, fixed-rate dummy traffic
+//! — so this crate provides the always-available observability layer the
+//! rest of the workspace instruments itself with:
+//!
+//! * [`event`] / [`ring`] — typed, fixed-size trace events in a
+//!   preallocated overwrite-oldest ring buffer (no allocation on the hot
+//!   path).
+//! * [`recorder`] — the [`Recorder`] components emit into through an
+//!   `Option<SharedRecorder>`; `None` (the default) compiles every
+//!   instrumentation site down to one branch.
+//! * [`metrics`] — named gauges sampled on a configurable cycle interval
+//!   into time-series.
+//! * [`export`] — Chrome trace-event JSON (Perfetto-loadable), JSONL and
+//!   CSV exporters, plus the per-subsystem latency breakdown behind
+//!   `doram-cli trace summarize`.
+//! * [`stall`] — the structured [`StallDump`] carried by the watchdog's
+//!   stall error.
+//! * [`json`] — the small JSON reader the trace tools use (the
+//!   workspace builds offline, without serde).
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod ring;
+pub mod stall;
+
+pub use event::{
+    filter_names, parse_filter, Event, EventKind, Subsystem, ALL_SUBSYSTEMS, FILTER_ALL, NO_ACCESS,
+};
+pub use export::{
+    chrome_trace_json, metrics_csv, metrics_jsonl, spans_from_events, summarize_file,
+    validate_file, write_chrome_trace, AccessSpan, TraceSummary, ValidateReport,
+};
+pub use metrics::{MetricsRegistry, TimeSeries, DEFAULT_METRICS_EVERY};
+pub use recorder::{Recorder, SharedRecorder};
+pub use ring::{EventRing, DEFAULT_RING_CAPACITY};
+pub use stall::{CoreStall, StallDump};

@@ -1,0 +1,183 @@
+//! The metrics registry: named gauges sampled into time-series.
+//!
+//! Components (or the simulation driver polling them) latch the current
+//! value of each named metric with [`MetricsRegistry::set`]; every
+//! configured sampling interval the registry appends one `(cycle, value)`
+//! point per series. Figure-8/12-style curves (per-channel utilization,
+//! queue depths, dummy-vs-real rate, fault activity) fall out of any run
+//! as a time-series export.
+
+use doram_sim::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+
+/// Default sampling interval in memory cycles (`--metrics-every`).
+pub const DEFAULT_METRICS_EVERY: u64 = 10_000;
+
+/// One named metric and its sampled history.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// Dotted metric name, e.g. `sd.sub0.queue`.
+    pub name: String,
+    /// Latched value to be captured at the next sample point.
+    pub last: f64,
+    /// Sampled `(memory cycle, value)` points, oldest first.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Named gauges plus their sampled time-series.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    every: u64,
+    series: Vec<TimeSeries>,
+    samples: u64,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry sampling every `every` memory cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(every: u64) -> MetricsRegistry {
+        assert!(every > 0, "metrics sampling interval must be positive");
+        MetricsRegistry {
+            every,
+            series: Vec::new(),
+            samples: 0,
+        }
+    }
+
+    /// The sampling interval in memory cycles.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Changes the sampling interval (used when a resumed run passes a
+    /// different `--metrics-every`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn set_every(&mut self, every: u64) {
+        assert!(every > 0, "metrics sampling interval must be positive");
+        self.every = every;
+    }
+
+    /// Whether `cycle` is a sampling point.
+    #[inline]
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle.is_multiple_of(self.every)
+    }
+
+    /// Latches `value` for `name`, registering the series on first use.
+    pub fn set(&mut self, name: &str, value: f64) {
+        match self.series.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.last = value,
+            None => self.series.push(TimeSeries {
+                name: name.to_string(),
+                last: value,
+                points: Vec::new(),
+            }),
+        }
+    }
+
+    /// Appends one sample point per registered series at `cycle`.
+    pub fn sample(&mut self, cycle: u64) {
+        for s in &mut self.series {
+            s.points.push((cycle, s.last));
+        }
+        self.samples += 1;
+    }
+
+    /// Sample points taken so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples
+    }
+
+    /// The registered series, in registration order.
+    pub fn series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// The latched values as rendered `(name, value)` pairs, for
+    /// diagnostic dumps.
+    pub fn latest(&self) -> Vec<(String, String)> {
+        self.series
+            .iter()
+            .map(|s| (s.name.clone(), format!("{:.3}", s.last)))
+            .collect()
+    }
+}
+
+impl Snapshot for MetricsRegistry {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        let MetricsRegistry {
+            every: _, // run-option, not dynamic state
+            series,
+            samples,
+        } = self;
+        w.put_u64(*samples);
+        w.put_usize(series.len());
+        for s in series {
+            w.put_str(&s.name);
+            w.put_f64(s.last);
+            w.put_usize(s.points.len());
+            for (c, v) in &s.points {
+                w.put_u64(*c);
+                w.put_f64(*v);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.samples = r.get_u64()?;
+        self.series.clear();
+        for _ in 0..r.get_usize()? {
+            let name = r.get_str()?;
+            let last = r.get_f64()?;
+            let mut points = Vec::new();
+            for _ in 0..r.get_usize()? {
+                let c = r.get_u64()?;
+                let v = r.get_f64()?;
+                points.push((c, v));
+            }
+            self.series.push(TimeSeries { name, last, points });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latches_and_samples() {
+        let mut reg = MetricsRegistry::new(100);
+        assert!(reg.due(0) && reg.due(200) && !reg.due(150));
+        reg.set("a", 1.0);
+        reg.set("b", 2.0);
+        reg.sample(0);
+        reg.set("a", 3.0);
+        reg.sample(100);
+        assert_eq!(reg.series().len(), 2);
+        assert_eq!(reg.series()[0].points, vec![(0, 1.0), (100, 3.0)]);
+        assert_eq!(reg.series()[1].points, vec![(0, 2.0), (100, 2.0)]);
+        assert_eq!(reg.samples_taken(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut reg = MetricsRegistry::new(10);
+        reg.set("x", 5.5);
+        reg.sample(0);
+        reg.set("x", 6.5);
+        reg.sample(10);
+        let mut w = SnapshotWriter::new();
+        reg.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = MetricsRegistry::new(10);
+        restored.load_state(&mut SnapshotReader::new(&bytes)).unwrap();
+        assert_eq!(restored.series()[0].points, reg.series()[0].points);
+        assert_eq!(restored.samples_taken(), 2);
+    }
+}

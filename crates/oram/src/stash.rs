@@ -4,6 +4,7 @@
 //! expectation (Stefanov et al. prove O(log N)·ω(1) with Z = 4); the
 //! protocol tests check the empirical bound.
 
+use doram_obs::{EventKind, SharedRecorder, Subsystem};
 use doram_sim::error::SimError;
 use doram_sim::stats::Histogram;
 use std::collections::HashMap;
@@ -20,6 +21,13 @@ pub struct Stash<V> {
     peak: usize,
     capacity: Option<usize>,
     occupancy: Histogram,
+    /// Trace recorder; `None` (the default) keeps every operation silent.
+    obs: Option<SharedRecorder>,
+    /// Timestamp stamped onto emitted events. Hosts that track simulated
+    /// time update it via [`Stash::set_obs_now`]; purely functional hosts
+    /// can use any monotone counter (the ring preserves emission order
+    /// regardless).
+    obs_now: u64,
 }
 
 impl<V> Default for Stash<V> {
@@ -36,6 +44,27 @@ impl<V> Stash<V> {
             peak: 0,
             capacity: None,
             occupancy: Histogram::new(1, OCCUPANCY_BUCKETS),
+            obs: None,
+            obs_now: 0,
+        }
+    }
+
+    /// Attaches (or detaches) a trace recorder. The stash emits
+    /// `stash_hit` on a successful [`Stash::remove`], `stash_evict` with
+    /// the block count taken by [`Stash::take_eligible`], and
+    /// `stash_occupancy` after every insert.
+    pub fn set_obs(&mut self, obs: Option<SharedRecorder>) {
+        self.obs = obs;
+    }
+
+    /// Sets the timestamp stamped onto subsequent trace events.
+    pub fn set_obs_now(&mut self, now: u64) {
+        self.obs_now = now;
+    }
+
+    fn emit(&mut self, kind: EventKind, value: u64) {
+        if let Some(obs) = &self.obs {
+            obs.borrow_mut().instant(Subsystem::Stash, kind, self.obs_now, value);
         }
     }
 
@@ -67,6 +96,7 @@ impl<V> Stash<V> {
         self.blocks.insert(block, (leaf, value));
         self.peak = self.peak.max(self.blocks.len());
         self.occupancy.record(self.blocks.len() as u64);
+        self.emit(EventKind::StashOccupancy, self.blocks.len() as u64);
     }
 
     /// Inserts `block`, failing with [`SimError::StashOverflow`] when a
@@ -93,7 +123,11 @@ impl<V> Stash<V> {
 
     /// Removes and returns `block`'s `(leaf, value)`.
     pub fn remove(&mut self, block: u64) -> Option<(u64, V)> {
-        self.blocks.remove(&block)
+        let hit = self.blocks.remove(&block);
+        if hit.is_some() {
+            self.emit(EventKind::StashHit, block);
+        }
+        hit
     }
 
     /// Looks at `block` without removing it.
@@ -143,13 +177,17 @@ impl<V> Stash<V> {
             .map(|(&b, _)| b)
             .take(max)
             .collect();
-        chosen
+        let taken: Vec<(u64, u64, V)> = chosen
             .into_iter()
             .map(|b| {
                 let (leaf, v) = self.blocks.remove(&b).expect("chosen above");
                 (b, leaf, v)
             })
-            .collect()
+            .collect();
+        if !taken.is_empty() {
+            self.emit(EventKind::StashEvict, taken.len() as u64);
+        }
+        taken
     }
 
     /// Iterates over `(block, leaf)` pairs.
@@ -279,6 +317,35 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = Stash::<()>::with_capacity(0);
+    }
+
+    #[test]
+    fn recorder_sees_hits_evictions_and_occupancy() {
+        use doram_obs::{Recorder, FILTER_ALL};
+        let mut s = Stash::new();
+        let rec = Recorder::shared(64, FILTER_ALL, 1_000);
+        s.set_obs(Some(rec.clone()));
+        s.set_obs_now(42);
+        s.insert(1, 10, ());
+        s.insert(2, 10, ());
+        assert!(s.remove(1).is_some());
+        assert!(s.remove(1).is_none()); // miss: silent
+        let taken = s.take_eligible(4, |leaf| leaf == 10);
+        assert_eq!(taken.len(), 1);
+        let events = rec.borrow().events();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::StashOccupancy,
+                EventKind::StashOccupancy,
+                EventKind::StashHit,
+                EventKind::StashEvict,
+            ]
+        );
+        assert!(events.iter().all(|e| e.cycle == 42));
+        assert_eq!(events[1].value, 2, "occupancy after second insert");
+        assert_eq!(events[3].value, 1, "one block evicted");
     }
 
     #[test]

@@ -333,6 +333,75 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_edges() {
+        // Empty: every quantile is None, including the extremes.
+        let empty = Histogram::new(8, 16);
+        assert_eq!(empty.quantile(0.0), None);
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.quantile(1.0), None);
+
+        // Single sample: every quantile lands on that sample's bucket
+        // upper bound, and out-of-range q is clamped rather than panicking.
+        let mut one = Histogram::new(8, 16);
+        one.record(20); // bucket 2 → upper bound 24
+        for q in [0.0, 0.001, 0.5, 0.999, 1.0, -3.0, 7.0] {
+            assert_eq!(one.quantile(q), Some(24), "q={q}");
+        }
+
+        // All samples in the overflow bucket: the quantile saturates at
+        // the histogram's covered range instead of inventing a bound.
+        let mut over = Histogram::new(10, 4);
+        over.record(1_000);
+        over.record(u64::MAX);
+        assert_eq!(over.overflow(), 2);
+        assert_eq!(over.quantile(0.5), Some(40));
+        assert_eq!(over.quantile(1.0), Some(40));
+
+        // A quantile exactly on a cumulative-count boundary picks the
+        // bucket that reaches the target, not the one after it.
+        let mut split = Histogram::new(10, 4);
+        split.record(5);
+        split.record(15);
+        assert_eq!(split.quantile(0.5), Some(10));
+        assert_eq!(split.quantile(0.51), Some(20));
+    }
+
+    #[test]
+    fn counter_add_saturates_near_max() {
+        // add() must clamp instead of wrapping when the increment would
+        // pass u64::MAX, and stay pinned afterwards.
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        assert_eq!(c.get(), u64::MAX - 1);
+        c.add(1);
+        assert_eq!(c.get(), u64::MAX);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+
+        // Two near-MAX counters also saturate when both operands are huge.
+        let mut d = Counter::new();
+        d.add(u64::MAX / 2 + 1);
+        d.add(u64::MAX / 2 + 1);
+        assert_eq!(d.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_record_at_bucket_boundaries() {
+        // value / width on the exact boundary belongs to the next bucket;
+        // the last representable value before overflow is width*n - 1.
+        let mut h = Histogram::new(10, 2);
+        h.record(9);
+        h.record(10);
+        h.record(19);
+        h.record(20); // first overflow value
+        assert_eq!(h.buckets(), &[1, 2]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
     fn geometric_mean_matches_hand_computation() {
         let g = geometric_mean(&[1.0, 4.0]);
         assert!((g - 2.0).abs() < 1e-12);

@@ -9,6 +9,7 @@
 
 use doram::core::profiling::{profile, ProfileScale};
 use doram::core::{RunOptions, RunReport, Scheme, SimError, Simulation, SystemConfig};
+use doram::obs::{self, SharedRecorder};
 use doram::sim::snapshot::write_atomic;
 use doram::trace::Benchmark;
 use std::error::Error;
@@ -159,6 +160,57 @@ fn parse_run_options(opts: &Opts) -> Result<RunOptions, String> {
     Ok(ro)
 }
 
+/// Tracing knobs of `doram-cli run`: `--trace-out FILE` switches the
+/// recorder on; `--trace-filter SUBS`, `--metrics-every N`, and
+/// `--trace-ring N` tune it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TraceOpts {
+    out: PathBuf,
+    filter: u8,
+    metrics_every: u64,
+    ring_capacity: usize,
+}
+
+fn parse_trace_options(opts: &Opts) -> Result<Option<TraceOpts>, String> {
+    let Some(out) = opts.get("trace-out") else {
+        for key in ["trace-filter", "metrics-every", "trace-ring"] {
+            if opts.get(key).is_some() {
+                return Err(format!("--{key} requires --trace-out FILE"));
+            }
+        }
+        return Ok(None);
+    };
+    let filter = match opts.get("trace-filter") {
+        Some(spec) => obs::parse_filter(spec)?,
+        None => obs::FILTER_ALL,
+    };
+    Ok(Some(TraceOpts {
+        out: PathBuf::from(out),
+        filter,
+        metrics_every: opts.get_u64("metrics-every", obs::DEFAULT_METRICS_EVERY)?,
+        ring_capacity: opts.get_u64("trace-ring", obs::DEFAULT_RING_CAPACITY as u64)? as usize,
+    }))
+}
+
+/// Exports everything the recorder holds: the Chrome trace (Perfetto) to
+/// `--trace-out`, plus `<out>.metrics.jsonl` / `<out>.metrics.csv`
+/// time-series sidecars. Runs on every exit path — an interrupted or
+/// stalled run still leaves its trace behind for diagnosis.
+fn export_trace(t: &TraceOpts, rec: &SharedRecorder) -> Result<(), Box<dyn Error>> {
+    let rec = rec.borrow();
+    let events = rec.events();
+    let (_, dropped, _) = rec.ring_stats();
+    obs::write_chrome_trace(&t.out, &events, rec.metrics.series(), dropped)?;
+    eprintln!("wrote {}", t.out.display());
+    let jsonl = t.out.with_extension("metrics.jsonl");
+    write_atomic(&jsonl, obs::metrics_jsonl(rec.metrics.series()).as_bytes())?;
+    eprintln!("wrote {}", jsonl.display());
+    let csv = t.out.with_extension("metrics.csv");
+    write_atomic(&csv, obs::metrics_csv(rec.metrics.series()).as_bytes())?;
+    eprintln!("wrote {}", csv.display());
+    Ok(())
+}
+
 /// Emits `text` to `--out FILE` via the crash-consistent writer when the flag
 /// is present, otherwise to stdout.
 fn emit_output(opts: &Opts, text: &str) -> Result<(), Box<dyn Error>> {
@@ -189,11 +241,27 @@ fn partial_report_json(at: u64, checkpoint: Option<&Path>) -> String {
 fn cmd_run(opts: &Opts) -> Result<(), Box<dyn Error>> {
     let cfg = build_config(opts)?;
     let run_opts = parse_run_options(opts)?;
-    let sim = match opts.get("resume") {
+    let trace_opts = parse_trace_options(opts)?;
+    let mut sim = match opts.get("resume") {
         Some(path) => Simulation::resume(cfg, Path::new(path))?,
         None => Simulation::new(cfg)?,
     };
-    let report = match sim.run_with(&run_opts) {
+    // Clone the shared recorder before `run_with` consumes the simulation
+    // so the trace survives the run on every exit path.
+    let rec = trace_opts
+        .as_ref()
+        .map(|t| sim.enable_tracing(t.ring_capacity, t.filter, t.metrics_every));
+    let result = sim.run_with(&run_opts);
+    if let (Some(t), Some(rec)) = (&trace_opts, &rec) {
+        match export_trace(t, rec) {
+            Ok(()) => {}
+            // A failed run is the more important error; a failed export
+            // of a successful run is its own.
+            Err(e) if result.is_ok() => return Err(e),
+            Err(e) => eprintln!("trace export failed: {e}"),
+        }
+    }
+    let report = match result {
         Ok(report) => report,
         Err(SimError::Interrupted { at, checkpoint }) => {
             eprintln!(
@@ -270,6 +338,54 @@ fn cmd_profile(opts: &Opts) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+const TRACE_USAGE: &str = "usage: doram-cli trace <summarize|validate> FILE [--min-accesses N]";
+
+/// `doram-cli trace summarize FILE` / `trace validate FILE`: offline
+/// inspection of a Chrome-trace file written by `run --trace-out`.
+fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (Some(sub), Some(file)) = (args.first(), args.get(1)) else {
+        return Err(TRACE_USAGE.into());
+    };
+    let opts = Opts::parse(&args[2..])?;
+    let path = Path::new(file);
+    match sub.as_str() {
+        "summarize" => {
+            let summary = obs::summarize_file(path)?;
+            println!("{summary}");
+            Ok(())
+        }
+        "validate" => {
+            let report = obs::validate_file(path)?;
+            println!(
+                "{}: {} trace events, {} complete ORAM accesses, {} mismatched, \
+                 {} counter samples",
+                path.display(),
+                report.trace_events,
+                report.complete_accesses,
+                report.mismatched,
+                report.counter_samples
+            );
+            if report.mismatched > 0 {
+                return Err(format!(
+                    "{} access span group(s) do not telescope",
+                    report.mismatched
+                )
+                .into());
+            }
+            let min = opts.get_u64("min-accesses", 0)? as usize;
+            if report.complete_accesses < min {
+                return Err(format!(
+                    "expected at least {min} complete ORAM access(es), found {}",
+                    report.complete_accesses
+                )
+                .into());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown trace subcommand '{other}'\n{TRACE_USAGE}").into()),
+    }
+}
+
 fn cmd_list() {
     println!("benchmarks (Table III):");
     for b in Benchmark::ALL {
@@ -278,12 +394,19 @@ fn cmd_list() {
     println!("\nschemes: solo | 7ns-4ch | 7ns-3ch | baseline | secmem | partition | doram (--k 0..3 --c 0..7)");
     println!("flags  : --merge (split-read merging) --pipeline (SD pipelining)");
     println!("crash-safety: --checkpoint-every N --checkpoint-dir DIR --resume FILE --watchdog N");
+    println!(
+        "tracing: --trace-out FILE (Perfetto JSON + metrics sidecars) \
+         --trace-filter SUBS --metrics-every N --trace-ring N"
+    );
+    println!("         subsystems: engine, link, sd, dram, stash, fault (comma-separated, or all/none)");
 }
 
-const USAGE: &str = "usage: doram-cli <run|sweep-c|profile|check|list> [--bench NAME] [--scheme NAME]
+const USAGE: &str = "usage: doram-cli <run|sweep-c|profile|check|trace|list> [--bench NAME] [--scheme NAME]
     [--k 0..3] [--c 0..7] [--accesses N] [--seed N] [--dummy-interval T]
     [--merge] [--pipeline] [--json] [--out FILE]
-    [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--watchdog N]";
+    [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--watchdog N]
+    [--trace-out FILE] [--trace-filter SUBS] [--metrics-every N] [--trace-ring N]
+       doram-cli trace <summarize|validate> FILE [--min-accesses N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -291,6 +414,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if cmd == "trace" {
+        // Positional subcommand + file; parsed inside.
+        return match cmd_trace(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match Opts::parse(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
@@ -398,6 +531,32 @@ mod tests {
 
         assert!(parse_run_options(&opts(&["--watchdog", "soon"])).is_err());
         assert!(parse_run_options(&opts(&["--checkpoint-every", "x"])).is_err());
+    }
+
+    #[test]
+    fn trace_options_parsing() {
+        assert_eq!(parse_trace_options(&opts(&[])).unwrap(), None);
+        let t = parse_trace_options(&opts(&[
+            "--trace-out",
+            "t.json",
+            "--trace-filter",
+            "sd,link",
+            "--metrics-every",
+            "500",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(t.out, PathBuf::from("t.json"));
+        assert_eq!(t.metrics_every, 500);
+        assert_eq!(t.filter, obs::parse_filter("sd,link").unwrap());
+        assert_eq!(t.ring_capacity, obs::DEFAULT_RING_CAPACITY);
+        // Tuning knobs without --trace-out are a user error, not silence.
+        assert!(parse_trace_options(&opts(&["--trace-filter", "sd"])).is_err());
+        assert!(parse_trace_options(&opts(&["--metrics-every", "100"])).is_err());
+        assert!(
+            parse_trace_options(&opts(&["--trace-out", "t.json", "--trace-filter", "bogus"]))
+                .is_err()
+        );
     }
 
     #[test]

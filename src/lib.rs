@@ -47,6 +47,7 @@
 //! | [`bob`] | BOB packets, serial links, normal channels |
 //! | [`oram`] | Path ORAM: protocol, layout, tree split, planning |
 //! | [`secmem`] | the ObfusMem/InvisiMem-style comparator |
+//! | [`obs`] | tracing & telemetry: event log, metrics, Perfetto export |
 //! | [`core`] | schemes, full-system simulation, figures & tables |
 
 pub use doram_bob as bob;
@@ -54,6 +55,7 @@ pub use doram_core as core;
 pub use doram_cpu as cpu;
 pub use doram_crypto as crypto;
 pub use doram_dram as dram;
+pub use doram_obs as obs;
 pub use doram_oram as oram;
 pub use doram_secmem as secmem;
 pub use doram_sim as sim;
