@@ -29,10 +29,16 @@
 //! link a deterministic function of (config, fault plan, send sequence) —
 //! a faulty run delivers exactly the same frames as a clean run, later.
 
-use doram_obs::SharedRecorder;
+use doram_obs::{EventKind, SharedRecorder, Subsystem};
 use doram_sim::fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultRates};
+use doram_sim::health::{HealthMonitor, HealthPolicy, HealthState};
+use doram_sim::rng::Xoshiro256;
 use doram_sim::{MemCycle, SimError};
 use std::collections::VecDeque;
+
+/// Salt separating the backoff-jitter RNG streams from fault-injection
+/// streams derived from the same seed.
+const JITTER_STREAM_SALT: u64 = 0xBAC0_FF01_BAC0_FF01;
 
 /// Link parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +68,12 @@ pub struct LinkConfig {
     /// Base of the exponential backoff added per replay attempt
     /// (attempt `k` waits `backoff_base * 2^(k-1)`, capped at 2^6).
     pub backoff_base: MemCycle,
+    /// Jitter added on top of each backoff wait, as a percentage of the
+    /// exponential term (`0..=100`). `0` (the default) disables jitter
+    /// entirely — no randomness is consumed, so legacy runs are
+    /// bit-identical. The jitter stream is seeded from `error_seed`, so
+    /// the schedule is deterministic per (seed, direction).
+    pub backoff_jitter_pct: u8,
 }
 
 impl Default for LinkConfig {
@@ -81,6 +93,7 @@ impl Default for LinkConfig {
             // > 2 * latency + worst-case serialization (5 cycles for 72 B).
             retry_timeout: MemCycle(32),
             backoff_base: MemCycle(4),
+            backoff_jitter_pct: 0,
         }
     }
 }
@@ -173,12 +186,20 @@ struct Direction<M> {
     bytes_sent: u64,
     /// Fault-injection state for this direction.
     injector: FaultInjector,
+    /// Deterministic jitter stream for backoff waits (only drawn from
+    /// when [`LinkConfig::backoff_jitter_pct`] is non-zero).
+    jitter_rng: Xoshiro256,
+    /// Circuit-breaker bookkeeping for this direction's condition.
+    health: HealthMonitor,
     /// Recovery accounting.
     stats: LinkStats,
     /// First exhausted-retry fault, latched for fail-stop escalation.
     fault: Option<SimError>,
     /// Which end this direction feeds, for fault messages.
     label: &'static str,
+    /// Direction index (0 = cpu->mem, 1 = mem->cpu), the health event's
+    /// component id.
+    dir_id: u64,
     /// Trace recorder; `None` (the default) keeps the hot path silent.
     obs: Option<SharedRecorder>,
 }
@@ -193,9 +214,12 @@ impl<M> Direction<M> {
             flying: VecDeque::new(),
             bytes_sent: 0,
             injector: plan.injector(stream),
+            jitter_rng: Xoshiro256::stream(cfg.error_seed ^ JITTER_STREAM_SALT, stream),
+            health: HealthMonitor::new(HealthPolicy::default()),
             stats: LinkStats::default(),
             fault: None,
             label,
+            dir_id: stream & 1,
             obs: None,
         }
     }
@@ -209,9 +233,32 @@ impl<M> Direction<M> {
         Ok(())
     }
 
-    /// Exponential backoff for replay attempt `attempt` (1-based).
-    fn backoff(&self, attempt: u32) -> u64 {
-        self.cfg.backoff_base.0 << (attempt.saturating_sub(1)).min(6)
+    /// Exponential backoff for replay attempt `attempt` (1-based), plus
+    /// deterministic seeded jitter when configured. With jitter disabled
+    /// (the default) no randomness is consumed.
+    fn backoff(&mut self, attempt: u32) -> u64 {
+        let base = self.cfg.backoff_base.0 << (attempt.saturating_sub(1)).min(6);
+        if self.cfg.backoff_jitter_pct == 0 {
+            return base;
+        }
+        let span = base * u64::from(self.cfg.backoff_jitter_pct) / 100;
+        if span == 0 {
+            return base;
+        }
+        base + self.jitter_rng.gen_below(span + 1)
+    }
+
+    /// Forwards a health transition (if one happened) to the trace
+    /// recorder as a `health_transition` instant.
+    fn note_health(&mut self, t: Option<doram_sim::health::HealthTransition>, now: MemCycle) {
+        if let (Some(t), Some(obs)) = (t, &self.obs) {
+            obs.borrow_mut().instant(
+                Subsystem::Link,
+                EventKind::HealthTransition,
+                now.0,
+                t.event_value(self.dir_id),
+            );
+        }
     }
 
     /// Rolls the CRC/drop/delay recovery protocol for one frame and returns
@@ -233,8 +280,12 @@ impl<M> Direction<M> {
             // roll for a drop when the copy made it across.
             let dropped = !corrupt && self.injector.roll(FaultKind::DropFrame, now);
             if !corrupt && !dropped {
+                let t = self.health.on_success(now);
+                self.note_health(t, now);
                 break;
             }
+            let t = self.health.on_failure(now);
+            self.note_health(t, now);
             attempt += 1;
             if attempt > self.cfg.max_retries {
                 self.stats.exhausted_retries += 1;
@@ -324,9 +375,12 @@ impl<M> Direction<M> {
             flying,
             bytes_sent,
             injector,
+            jitter_rng,
+            health,
             stats,
             fault,
             label: _,
+            dir_id: _,
             obs: _, // re-wired by the host after restore
         } = self;
         w.put_usize(tx.len());
@@ -343,6 +397,8 @@ impl<M> Direction<M> {
         }
         w.put_u64(*bytes_sent);
         injector.save_state(w);
+        jitter_rng.save_state(w);
+        health.save_state(w);
         stats.save_state(w);
         doram_sim::snapshot::put_opt_sim_error(w, fault);
     }
@@ -373,6 +429,8 @@ impl<M> Direction<M> {
         }
         self.bytes_sent = r.get_u64()?;
         self.injector.load_state(r)?;
+        self.jitter_rng.load_state(r)?;
+        self.health.load_state(r)?;
         self.stats.load_state(r)?;
         self.fault = doram_sim::snapshot::get_opt_sim_error(r)?;
         Ok(())
@@ -402,6 +460,10 @@ impl<M> Link<M> {
     pub fn set_fault_plan(&mut self, plan: &FaultPlan, site: u64) {
         self.to_mem.injector = plan.injector(site * 2);
         self.to_cpu.injector = plan.injector(site * 2 + 1);
+        // Re-key the jitter streams off the plan so links sharing one
+        // system-wide plan jitter independently per site.
+        self.to_mem.jitter_rng = Xoshiro256::stream(plan.seed ^ JITTER_STREAM_SALT, site * 2);
+        self.to_cpu.jitter_rng = Xoshiro256::stream(plan.seed ^ JITTER_STREAM_SALT, site * 2 + 1);
     }
 
     /// Attaches (or detaches) a trace recorder. Both directions emit
@@ -487,6 +549,23 @@ impl<M> Link<M> {
     /// still delivered, but the system layer should fail-stop).
     pub fn fault(&self) -> Option<&SimError> {
         self.to_mem.fault.as_ref().or(self.to_cpu.fault.as_ref())
+    }
+
+    /// Per-direction health states (to-mem, to-cpu).
+    pub fn health(&self) -> (HealthState, HealthState) {
+        (self.to_mem.health.state(), self.to_cpu.health.state())
+    }
+
+    /// The worse of the two directions' health states (ordered
+    /// `Healthy < Degraded < Quarantined < Probation`; the non-healthy
+    /// extreme wins for a one-gauge summary).
+    pub fn worst_health(&self) -> HealthState {
+        self.to_mem.health.state().max(self.to_cpu.health.state())
+    }
+
+    /// Quarantine entries across both directions (degraded-episode count).
+    pub fn quarantine_entries(&self) -> u32 {
+        self.to_mem.health.quarantine_entries() + self.to_cpu.health.quarantine_entries()
     }
 
     /// Appends both directions' dynamic state for a checkpoint. The
@@ -718,12 +797,157 @@ mod tests {
     #[test]
     fn backoff_grows_exponentially() {
         let cfg = LinkConfig::default();
-        let dir: Direction<u32> = Direction::new(cfg, 0, "test");
+        let mut dir: Direction<u32> = Direction::new(cfg, 0, "test");
         assert_eq!(dir.backoff(1), cfg.backoff_base.0);
         assert_eq!(dir.backoff(2), cfg.backoff_base.0 * 2);
         assert_eq!(dir.backoff(4), cfg.backoff_base.0 * 8);
         // Capped so a long retry storm cannot overflow.
         assert_eq!(dir.backoff(60), cfg.backoff_base.0 * 64);
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_bounds_and_respects_the_cap() {
+        let cfg = LinkConfig {
+            backoff_jitter_pct: 25,
+            ..LinkConfig::default()
+        };
+        let mut dir: Direction<u32> = Direction::new(cfg, 0, "test");
+        for attempt in 1..=80u32 {
+            let base = cfg.backoff_base.0 << (attempt.saturating_sub(1)).min(6);
+            let b = dir.backoff(attempt);
+            assert!(b >= base, "attempt {attempt}: {b} < base {base}");
+            assert!(
+                b <= base + base / 4,
+                "attempt {attempt}: {b} above jitter bound"
+            );
+        }
+        // The max-backoff clamp holds with jitter too: never beyond
+        // base*64 * (1 + pct/100).
+        let cap = cfg.backoff_base.0 * 64;
+        for _ in 0..100 {
+            assert!(dir.backoff(1000) <= cap + cap / 4);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let cfg = LinkConfig {
+            backoff_jitter_pct: 50,
+            error_rate_ppm: 200_000,
+            ..LinkConfig::default()
+        };
+        let (got_a, stats_a) = run_lossy(cfg);
+        let (got_b, stats_b) = run_lossy(cfg);
+        assert_eq!(got_a, got_b, "same seed must give the same schedule");
+        assert_eq!(stats_a, stats_b);
+        // A different seed shifts both the fault schedule and the jitter.
+        let (got_c, _) = run_lossy(LinkConfig {
+            error_seed: 0xBEEF,
+            ..cfg
+        });
+        assert_ne!(got_a, got_c, "seed must matter");
+        // Jitter costs extra cycles relative to the un-jittered run
+        // whenever any retransmission happened.
+        let (_, stats_plain) = run_lossy(LinkConfig {
+            backoff_jitter_pct: 0,
+            ..cfg
+        });
+        assert_eq!(stats_a.retransmissions, stats_plain.retransmissions);
+        assert!(
+            stats_a.recovery_cycles >= stats_plain.recovery_cycles,
+            "jitter only ever adds wait"
+        );
+    }
+
+    #[test]
+    fn snapshot_resume_mid_backoff_is_bit_identical() {
+        use doram_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let cfg = LinkConfig {
+            error_rate_ppm: 300_000,
+            drop_rate_ppm: 100_000,
+            backoff_jitter_pct: 50,
+            ..LinkConfig::default()
+        };
+        let run_half = |link: &mut Link<u32>, next: &mut u32, from: u64, upto: u64| {
+            let mut got = Vec::new();
+            for c in from..upto {
+                if *next < 200 && link.send_to_mem(72, *next).is_ok() {
+                    *next += 1;
+                }
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                link.tick(MemCycle(c), &mut a, &mut b);
+                for m in a {
+                    got.push((m, c));
+                }
+            }
+            got
+        };
+        let mut link: Link<u32> = Link::new(cfg);
+        let mut next = 0u32;
+        let split = 800u64;
+        let head = run_half(&mut link, &mut next, 0, split);
+        assert!(link.pending() > 0, "split must land mid-flight");
+        assert!(link.stats().retransmissions > 0, "retries before the split");
+
+        let mut w = SnapshotWriter::new();
+        link.save_state_with(&mut w, |m, w| w.put_u64(u64::from(*m)));
+        let bytes = w.into_bytes();
+        let mut resumed: Link<u32> = Link::new(cfg);
+        let mut r = SnapshotReader::new(&bytes);
+        resumed
+            .load_state_with(&mut r, |r| r.get_u64().map(|v| v as u32))
+            .unwrap();
+
+        let mut next_r = next;
+        let tail_a = run_half(&mut link, &mut next, split, 200_000);
+        let tail_b = run_half(&mut resumed, &mut next_r, split, 200_000);
+        assert_eq!(head.len() + tail_a.len(), 200, "all frames delivered");
+        assert_eq!(tail_a, tail_b, "resumed run must replay bit-identically");
+        assert_eq!(link.stats(), resumed.stats());
+        assert_eq!(link.health(), resumed.health());
+
+        // And the final states serialize identically.
+        let snap = |l: &Link<u32>| {
+            let mut w = SnapshotWriter::new();
+            l.save_state_with(&mut w, |m, w| w.put_u64(u64::from(*m)));
+            w.into_bytes()
+        };
+        assert_eq!(snap(&link), snap(&resumed));
+    }
+
+    #[test]
+    fn sustained_loss_walks_health_to_quarantine() {
+        use doram_obs::{Recorder, FILTER_ALL};
+        // 100% corruption: every frame burns its full retry budget, so the
+        // to-mem direction's failure streak crosses the quarantine
+        // threshold (16) within two frames. Health is observational — the
+        // link keeps delivering — but the state and trace events register.
+        let cfg = LinkConfig {
+            error_rate_ppm: 1_000_000,
+            ..LinkConfig::default()
+        };
+        let mut link: Link<u32> = Link::new(cfg);
+        let rec = Recorder::shared(256, FILTER_ALL, 1_000_000);
+        link.set_obs(Some(rec.clone()));
+        link.send_to_mem(72, 1).unwrap();
+        link.send_to_mem(72, 2).unwrap();
+        let got = drain(&mut link, 100_000);
+        assert_eq!(got.len(), 2, "quarantine does not stop delivery");
+        assert_eq!(link.health().0, HealthState::Quarantined);
+        assert_eq!(link.health().1, HealthState::Healthy);
+        assert_eq!(link.worst_health(), HealthState::Quarantined);
+        assert_eq!(link.quarantine_entries(), 1);
+        let transitions: Vec<u64> = rec
+            .borrow()
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::HealthTransition)
+            .map(|e| e.value)
+            .collect();
+        // Healthy→Degraded on the first failure, Degraded→Quarantined on
+        // the sixteenth; component id 0 (cpu->mem).
+        assert_eq!(transitions, vec![1, (1 << 8) | 2]);
     }
 
     #[test]

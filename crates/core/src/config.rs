@@ -154,6 +154,22 @@ pub struct SystemConfig {
     /// Integrity-recovery policy at the SD (re-fetch budget, quarantine
     /// threshold).
     pub recovery: RecoveryPolicy,
+    /// Stripe bucket parity across the SD's sub-channels so a quarantined
+    /// sub-channel's buckets are rebuilt from the surviving N−1 instead of
+    /// fail-stopping (graceful degradation). Off by default — disabled
+    /// runs are bit-identical to pre-parity behavior.
+    pub parity: bool,
+    /// Background-scrubber period in memory cycles: every `scrub_every`
+    /// cycles the SD repairs one parity-rebuildable bucket and probes
+    /// quarantined sub-channels. `0` (the default) disables scrubbing.
+    pub scrub_every: u64,
+    /// Cycles a quarantined component waits before entering probation
+    /// (the circuit breaker's half-open state). `0` (the default) keeps
+    /// the legacy latch-forever quarantine.
+    pub probation_window: u64,
+    /// Clean scrub probes required in probation before a sub-channel
+    /// returns to service.
+    pub probation_successes: u32,
 }
 
 impl SystemConfig {
@@ -185,6 +201,10 @@ impl SystemConfig {
                 max_mem_cycles: 2_000_000_000,
                 fault_plan: FaultPlan::none(),
                 recovery: RecoveryPolicy::default(),
+                parity: false,
+                scrub_every: 0,
+                probation_window: 0,
+                probation_successes: 4,
             },
         }
     }
@@ -248,6 +268,21 @@ impl SystemConfig {
         })?;
         if self.recovery.quarantine_threshold == 0 {
             return Err(ConfigError::new("quarantine threshold must be >= 1"));
+        }
+        if self.probation_window > 0 && self.probation_successes == 0 {
+            return Err(ConfigError::new(
+                "probation needs at least one clean probe to promote",
+            ));
+        }
+        if self.parity && self.secure_subchannels < 2 {
+            return Err(ConfigError::new(
+                "parity needs at least two secure sub-channels",
+            ));
+        }
+        if self.probation_window > 0 && self.scrub_every == 0 {
+            return Err(ConfigError::new(
+                "probation promotion is driven by scrub probes; set --scrub-every too",
+            ));
         }
         Ok(())
     }
@@ -401,6 +436,32 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Enables parity striping across the SD's sub-channels (graceful
+    /// degradation on quarantine instead of fail-stop).
+    pub fn parity(mut self, on: bool) -> Self {
+        self.cfg.parity = on;
+        self
+    }
+
+    /// Sets the background scrub period in memory cycles (0 disables).
+    pub fn scrub_every(mut self, every: u64) -> Self {
+        self.cfg.scrub_every = every;
+        self
+    }
+
+    /// Sets the quarantine probation window in memory cycles (0 keeps the
+    /// legacy latch-forever quarantine).
+    pub fn probation_window(mut self, window: u64) -> Self {
+        self.cfg.probation_window = window;
+        self
+    }
+
+    /// Sets the clean probes needed to promote out of probation.
+    pub fn probation_successes(mut self, probes: u32) -> Self {
+        self.cfg.probation_successes = probes;
+        self
+    }
+
     /// Finishes the builder.
     ///
     /// # Errors
@@ -478,6 +539,27 @@ mod tests {
         // The deepest representable tree passes depth validation.
         assert!(SystemConfig::builder(Benchmark::Black)
             .tree_l_max(62)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_degradation_knobs() {
+        // Probation without a scrubber can never promote.
+        assert!(SystemConfig::builder(Benchmark::Black)
+            .probation_window(100)
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder(Benchmark::Black)
+            .probation_window(100)
+            .scrub_every(50)
+            .probation_successes(0)
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder(Benchmark::Black)
+            .probation_window(100)
+            .scrub_every(50)
+            .parity(true)
             .build()
             .is_ok());
     }

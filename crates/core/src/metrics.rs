@@ -3,6 +3,7 @@
 use crate::config::Scheme;
 use doram_dram::EnergyBreakdown;
 use doram_sim::fault::FaultCounts;
+use doram_sim::health::HealthState;
 use doram_sim::stats::{geometric_mean, Histogram, RunningMean};
 use doram_trace::Benchmark;
 
@@ -31,6 +32,9 @@ pub struct FaultReport {
     pub crc_errors: u64,
     /// Frames whose ACK timed out (dropped in transit).
     pub timeouts: u64,
+    /// Frames whose retry budget ran out (each latches a link fault but
+    /// is still delivered, so the run can drain).
+    pub exhausted_retries: u64,
     /// Extra memory cycles spent on link-level recovery (retry + backoff).
     pub link_recovery_cycles: u64,
     /// SD bucket reads whose MAC verification failed.
@@ -41,6 +45,21 @@ pub struct FaultReport {
     pub sd_recovery_cycles: u64,
     /// Secure sub-channels latched into fail-stop quarantine.
     pub quarantined_subs: Vec<usize>,
+    /// Bucket reads reconstructed from parity shares after a sub-channel
+    /// loss (degraded-mode operation).
+    pub parity_rebuilds: u64,
+    /// Buckets re-tagged by the background scrubber.
+    pub scrub_repairs: u64,
+    /// Final health state per secure sub-channel (empty without an SD).
+    pub sub_health: Vec<HealthState>,
+    /// Quarantine episodes entered per secure sub-channel.
+    pub quarantine_entries: Vec<u32>,
+    /// Memory cycles each secure sub-channel spent outside `Healthy`.
+    pub unhealthy_cycles: Vec<u64>,
+    /// First fail-stop-grade fault latched during the run, even when the
+    /// simulation drained to completion afterwards (a run can finish its
+    /// traces *and* have hit an unrecoverable link retry, for example).
+    pub latched_fault: Option<String>,
 }
 
 /// `quarantined_subs` is a *set* of sub-channel indices; aggregation
@@ -52,11 +71,18 @@ impl PartialEq for FaultReport {
             retransmissions,
             crc_errors,
             timeouts,
+            exhausted_retries,
             link_recovery_cycles,
             integrity_failures,
             refetches,
             sd_recovery_cycles,
             quarantined_subs,
+            parity_rebuilds,
+            scrub_repairs,
+            sub_health,
+            quarantine_entries,
+            unhealthy_cycles,
+            latched_fault,
         } = self;
         let sorted = |v: &[usize]| {
             let mut s = v.to_vec();
@@ -67,11 +93,18 @@ impl PartialEq for FaultReport {
             && *retransmissions == other.retransmissions
             && *crc_errors == other.crc_errors
             && *timeouts == other.timeouts
+            && *exhausted_retries == other.exhausted_retries
             && *link_recovery_cycles == other.link_recovery_cycles
             && *integrity_failures == other.integrity_failures
             && *refetches == other.refetches
             && *sd_recovery_cycles == other.sd_recovery_cycles
             && sorted(quarantined_subs) == sorted(&other.quarantined_subs)
+            && *parity_rebuilds == other.parity_rebuilds
+            && *scrub_repairs == other.scrub_repairs
+            && *sub_health == other.sub_health
+            && *quarantine_entries == other.quarantine_entries
+            && *unhealthy_cycles == other.unhealthy_cycles
+            && *latched_fault == other.latched_fault
     }
 }
 
@@ -84,11 +117,23 @@ impl FaultReport {
             || self.retransmissions > 0
             || self.integrity_failures > 0
             || !self.quarantined_subs.is_empty()
+            || self.latched_fault.is_some()
     }
 
     /// Total recovery latency added by faults, in memory cycles.
     pub fn total_recovery_cycles(&self) -> u64 {
         self.link_recovery_cycles + self.sd_recovery_cycles
+    }
+
+    /// Whether the run saw a degraded episode: a sub-channel left
+    /// `Healthy` long enough to be counted, or parity had to rebuild.
+    pub fn degraded_episode(&self) -> bool {
+        self.parity_rebuilds > 0
+            || self.quarantine_entries.iter().any(|&e| e > 0)
+            || self
+                .sub_health
+                .iter()
+                .any(|&h| h != HealthState::Healthy)
     }
 }
 

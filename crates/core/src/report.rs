@@ -142,15 +142,35 @@ pub fn report_json(r: &crate::metrics::RunReport) -> String {
         Some(fr) => {
             let quarantined: Vec<String> =
                 fr.quarantined_subs.iter().map(|s| s.to_string()).collect();
+            let health: Vec<String> = fr
+                .sub_health
+                .iter()
+                .map(|h| format!("\"{}\"", h.name()))
+                .collect();
+            let entries: Vec<String> =
+                fr.quarantine_entries.iter().map(|e| e.to_string()).collect();
+            let unhealthy: Vec<String> =
+                fr.unhealthy_cycles.iter().map(|c| c.to_string()).collect();
+            let latched = match &fr.latched_fault {
+                // The detail strings carry no quotes or backslashes
+                // (component names + counters), so escaping is minimal.
+                Some(msg) => format!("\"{}\"", msg.replace('\\', "\\\\").replace('"', "\\\"")),
+                None => "null".into(),
+            };
             out.push_str(&format!(
                 concat!(
                     "\"faults\":{{",
                     "\"injected\":{{\"corrupt_frames\":{},\"drop_frames\":{},",
                     "\"delay_frames\":{},\"bit_flips\":{},\"forged_macs\":{}}},",
                     "\"retransmissions\":{},\"crc_errors\":{},\"timeouts\":{},",
+                    "\"exhausted_retries\":{},",
                     "\"link_recovery_cycles\":{},\"integrity_failures\":{},",
                     "\"refetches\":{},\"sd_recovery_cycles\":{},",
-                    "\"quarantined_subs\":[{}]}},"
+                    "\"quarantined_subs\":[{}],",
+                    "\"parity_rebuilds\":{},\"scrub_repairs\":{},",
+                    "\"sub_health\":[{}],\"quarantine_entries\":[{}],",
+                    "\"unhealthy_cycles\":[{}],",
+                    "\"degraded_episode\":{},\"latched_fault\":{}}},"
                 ),
                 fr.injected.corrupt_frames,
                 fr.injected.drop_frames,
@@ -160,11 +180,19 @@ pub fn report_json(r: &crate::metrics::RunReport) -> String {
                 fr.retransmissions,
                 fr.crc_errors,
                 fr.timeouts,
+                fr.exhausted_retries,
                 fr.link_recovery_cycles,
                 fr.integrity_failures,
                 fr.refetches,
                 fr.sd_recovery_cycles,
                 quarantined.join(","),
+                fr.parity_rebuilds,
+                fr.scrub_repairs,
+                health.join(","),
+                entries.join(","),
+                unhealthy.join(","),
+                fr.degraded_episode(),
+                latched,
             ));
         }
         None => out.push_str("\"faults\":null,"),
@@ -245,8 +273,18 @@ mod tests {
             total_mem_cycles: 999,
             faults: Some(crate::metrics::FaultReport {
                 retransmissions: 3,
+                exhausted_retries: 1,
                 integrity_failures: 2,
                 quarantined_subs: vec![1],
+                parity_rebuilds: 4,
+                scrub_repairs: 5,
+                sub_health: vec![
+                    doram_sim::health::HealthState::Healthy,
+                    doram_sim::health::HealthState::Quarantined,
+                ],
+                quarantine_entries: vec![0, 1],
+                unhealthy_cycles: vec![0, 1234],
+                latched_fault: Some("link \"to_mem\": retries exhausted".into()),
                 ..Default::default()
             }),
         };
@@ -259,6 +297,14 @@ mod tests {
         assert!(j.contains("\"retransmissions\":3"));
         assert!(j.contains("\"integrity_failures\":2"));
         assert!(j.contains("\"quarantined_subs\":[1]"));
+        assert!(j.contains("\"exhausted_retries\":1"));
+        assert!(j.contains("\"parity_rebuilds\":4"));
+        assert!(j.contains("\"scrub_repairs\":5"));
+        assert!(j.contains("\"sub_health\":[\"healthy\",\"quarantined\"]"));
+        assert!(j.contains("\"quarantine_entries\":[0,1]"));
+        assert!(j.contains("\"unhealthy_cycles\":[0,1234]"));
+        assert!(j.contains("\"degraded_episode\":true"));
+        assert!(j.contains("\"latched_fault\":\"link \\\"to_mem\\\": retries exhausted\""));
         // Balanced braces and quotes (cheap well-formedness proxy).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('"').count() % 2, 0);

@@ -26,11 +26,17 @@ use doram_obs::{EventKind, SharedRecorder, Subsystem};
 use doram_oram::plan::{BlockRef, Placement, PlanConfig};
 use doram_oram::verified::RecoveryPolicy;
 use doram_sim::fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan};
+use doram_sim::health::{HealthMonitor, HealthPolicy, HealthState, HealthTransition};
 use doram_sim::snapshot::{
     get_opt_sim_error, put_opt_sim_error, Snapshot, SnapshotError, SnapshotReader, SnapshotWriter,
 };
 use doram_sim::{AppId, MemCycle, RequestId, RequestIdGen, SimError};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Fault-plan site base of the SD's per-sub-channel DRAM buses: sub `i`
+/// rolls site-scoped bursts at site `SD_SUB_SITE_BASE + i` (the shared
+/// bus keeps site 0x5D00).
+pub const SD_SUB_SITE_BASE: u64 = 0x5D10;
 
 /// A split-level block operation forwarded through the CPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +171,20 @@ pub struct SecureChannelConfig {
     pub fault_plan: FaultPlan,
     /// Integrity-recovery policy (re-fetch budget, quarantine threshold).
     pub recovery: RecoveryPolicy,
+    /// Stripe bucket parity across the sub-channels: a quarantined
+    /// sub-channel's buckets are rebuilt from the surviving N−1 instead
+    /// of latching fail-stop. Off by default (bit-identical to the
+    /// legacy latch).
+    pub parity: bool,
+    /// Background scrub period in memory cycles (0 disables): each
+    /// period repairs one parity-marked bucket and probes quarantined /
+    /// probation sub-channels.
+    pub scrub_every: u64,
+    /// Cycles of quarantine before a sub-channel enters probation
+    /// (0 keeps the legacy latch-forever quarantine).
+    pub probation_window: u64,
+    /// Clean scrub probes needed to promote out of probation.
+    pub probation_successes: u32,
 }
 
 /// Counters of the SD's bucket-integrity verification and recovery.
@@ -179,6 +199,17 @@ pub struct SdFaultStats {
     pub recovery_cycles: u64,
     /// Sub-channels latched into fail-stop quarantine.
     pub quarantined_subs: Vec<usize>,
+    /// Buckets reconstructed from parity shares on the surviving
+    /// sub-channels.
+    pub parity_rebuilds: u64,
+    /// Buckets re-tagged by the background scrubber.
+    pub scrub_repairs: u64,
+    /// Current health state per sub-channel.
+    pub health: Vec<HealthState>,
+    /// Quarantine entries per sub-channel (degraded-episode count).
+    pub quarantine_entries: Vec<u32>,
+    /// Cycles each sub-channel has spent outside `Healthy`.
+    pub unhealthy_cycles: Vec<u64>,
 }
 
 /// Re-fetch bookkeeping for one in-flight recovery read.
@@ -198,6 +229,27 @@ enum SdVerdict {
     Deliver(RequestId),
     /// Re-read the bucket: enqueue this request on the same sub-channel.
     Refetch(MemRequest),
+    /// Reconstruct the bucket from parity shares on the serving
+    /// sub-channels (graceful degradation instead of fail-stop).
+    Rebuild {
+        /// The FSM-visible id to complete once the last share lands.
+        orig: RequestId,
+        /// Bucket address to reconstruct.
+        addr: u64,
+        /// Sub-channel excluded from the share reads (the one whose copy
+        /// just proved unrecoverable), beyond any non-serving ones.
+        exclude: Option<usize>,
+    },
+}
+
+/// How a delivered completion maps back to the FSM.
+enum Delivered {
+    /// Ordinary traffic: complete this id.
+    Regular(RequestId),
+    /// Last share of a parity rebuild: complete the rebuilt read.
+    RebuildDone(RequestId),
+    /// A share landed but its group still waits for more.
+    RebuildPartial,
 }
 
 /// The SD's bucket-integrity engine: a per-bucket CMAC tag store over a
@@ -211,37 +263,83 @@ struct SdIntegrity {
     /// the bucket contents: every write re-tags, every read re-verifies.
     versions: HashMap<u64, u64>,
     injector: FaultInjector,
+    /// Per-sub overlay injectors rolling *only* site-scoped bursts at
+    /// site `SD_SUB_SITE_BASE + i`. A plan without site windows leaves
+    /// them disabled, so legacy plans consume no extra randomness.
+    sub_injectors: Vec<FaultInjector>,
     policy: RecoveryPolicy,
-    /// Consecutive failed verifications per sub-channel.
-    consec: Vec<u32>,
-    quarantined: Vec<bool>,
+    /// Per-sub circuit breakers (replaces the old `consec`/`quarantined`
+    /// pair; with probation off the walk is behaviour-identical).
+    health: Vec<HealthMonitor>,
+    /// Parity striping on: quarantine degrades instead of latching.
+    parity: bool,
     integrity_failures: u64,
     refetches: u64,
     recovery_cycles: u64,
+    parity_rebuilds: u64,
+    scrub_repairs: u64,
     /// First fail-stop condition (quarantine or exhausted re-fetches).
     fault: Option<SimError>,
     /// Outstanding recovery reads: local id → ticket.
     inflight: HashMap<RequestId, RefetchTicket>,
+    /// Parity-rebuild share tracking: share id → group key.
+    rebuild_shares: HashMap<u64, u64>,
+    /// Group key → (FSM id to complete, shares outstanding).
+    rebuild_groups: HashMap<u64, (RequestId, u32)>,
+    next_group: u64,
+    /// Bucket address → sub-channel that last served it (parity only;
+    /// the scrubber's work-discovery map).
+    owners: BTreeMap<u64, usize>,
+    /// Buckets marked for scrub repair when their home sub quarantined,
+    /// repaired in address order.
+    corrupt: BTreeSet<u64>,
+    /// Health transitions awaiting trace emission (drained every tick).
+    transitions: Vec<(usize, HealthTransition)>,
+    /// Most recent tick cycle, for live unhealthy-cycle accounting.
+    now_hint: u64,
 }
 
 impl SdIntegrity {
-    fn new(plan: &FaultPlan, policy: RecoveryPolicy, seed: u64, n_subs: usize) -> SdIntegrity {
+    fn new(cfg: &SecureChannelConfig, n_subs: usize) -> SdIntegrity {
+        let seed = cfg.seed;
         let mut key = [0u8; 16];
         key[..8].copy_from_slice(&seed.to_le_bytes());
         key[8..].copy_from_slice(&(seed ^ 0x5D_1234_5678).to_le_bytes());
+        let plan = &cfg.fault_plan;
+        let sub_policy = HealthPolicy {
+            degrade_threshold: 1,
+            quarantine_threshold: cfg.recovery.quarantine_threshold,
+            probation_window: cfg.probation_window,
+            probation_successes: cfg.probation_successes,
+        };
         SdIntegrity {
             integrity: BucketIntegrity::new(key),
             versions: HashMap::new(),
             // Site 0x5D00: the SD's DRAM bus, distinct from link sites.
             injector: plan.injector(0x5D00),
-            policy,
-            consec: vec![0; n_subs],
-            quarantined: vec![false; n_subs],
+            sub_injectors: (0..n_subs)
+                .map(|i| {
+                    let site = SD_SUB_SITE_BASE + i as u64;
+                    plan.site_plan(site).injector(site)
+                })
+                .collect(),
+            policy: cfg.recovery,
+            health: vec![HealthMonitor::new(sub_policy); n_subs],
+            parity: cfg.parity,
             integrity_failures: 0,
             refetches: 0,
             recovery_cycles: 0,
+            parity_rebuilds: 0,
+            scrub_repairs: 0,
             fault: None,
             inflight: HashMap::new(),
+            rebuild_shares: HashMap::new(),
+            rebuild_groups: HashMap::new(),
+            next_group: 0,
+            owners: BTreeMap::new(),
+            corrupt: BTreeSet::new(),
+            transitions: Vec::new(),
+            now_hint: 0,
         }
     }
 
@@ -249,6 +347,142 @@ impl SdIntegrity {
         if self.fault.is_none() {
             self.fault = Some(fault);
         }
+    }
+
+    fn is_serving(&self, sub: usize) -> bool {
+        self.health[sub].is_serving()
+    }
+
+    fn any_serving(&self) -> bool {
+        self.health.iter().any(|h| h.is_serving())
+    }
+
+    /// Whether a parity rebuild excluding `exclude` has shares to read.
+    fn can_rebuild(&self, exclude: Option<usize>) -> bool {
+        self.parity
+            && self
+                .health
+                .iter()
+                .enumerate()
+                .any(|(i, h)| h.is_serving() && Some(i) != exclude)
+    }
+
+    fn note(&mut self, sub: usize, t: Option<HealthTransition>) {
+        if let Some(t) = t {
+            self.transitions.push((sub, t));
+        }
+    }
+
+    /// Starts a parity rebuild of `addr`: one share read per serving
+    /// sub-channel (minus `exclude`), queued with back-pressure. The FSM
+    /// id `orig` completes when the last share lands.
+    #[allow(clippy::too_many_arguments)] // the request tuple + channel plumbing
+    fn start_rebuild(
+        &mut self,
+        orig: RequestId,
+        addr: u64,
+        app: AppId,
+        now: MemCycle,
+        ids: &mut RequestIdGen,
+        queue: &mut VecDeque<(usize, MemRequest)>,
+        exclude: Option<usize>,
+    ) -> bool {
+        let serving: Vec<usize> = (0..self.health.len())
+            .filter(|&i| self.health[i].is_serving() && Some(i) != exclude)
+            .collect();
+        if serving.is_empty() {
+            return false;
+        }
+        let gid = self.next_group;
+        self.next_group += 1;
+        self.rebuild_groups.insert(gid, (orig, serving.len() as u32));
+        self.parity_rebuilds += 1;
+        for s in serving {
+            let id = ids.next_id();
+            self.rebuild_shares.insert(id.0, gid);
+            queue.push_back((
+                s,
+                MemRequest {
+                    id,
+                    app,
+                    op: MemOp::Read,
+                    addr,
+                    class: RequestClass::Oram,
+                    arrival: now,
+                },
+            ));
+        }
+        true
+    }
+
+    /// Maps a delivered completion id back to the FSM: ordinary ids pass
+    /// through; parity-rebuild shares count down their group.
+    fn resolve_delivery(&mut self, id: RequestId) -> Delivered {
+        let Some(gid) = self.rebuild_shares.remove(&id.0) else {
+            return Delivered::Regular(id);
+        };
+        let group = self
+            .rebuild_groups
+            .get_mut(&gid)
+            .expect("rebuild share without group");
+        group.1 -= 1;
+        if group.1 == 0 {
+            let (orig, _) = self.rebuild_groups.remove(&gid).expect("checked");
+            Delivered::RebuildDone(orig)
+        } else {
+            Delivered::RebuildPartial
+        }
+    }
+
+    /// A sub-channel just entered quarantine: mark every bucket it served
+    /// for scrub repair (parity only — without parity there is nothing to
+    /// rebuild from).
+    fn mark_corrupt(&mut self, sub: usize) {
+        if !self.parity {
+            return;
+        }
+        for (&addr, &owner) in self.owners.iter() {
+            if owner == sub {
+                self.corrupt.insert(addr);
+            }
+        }
+    }
+
+    /// One background-scrub step: repair one marked bucket (re-tag it
+    /// from the parity reconstruction) and probe quarantined / probation
+    /// sub-channels. Returns the repaired bucket's owning sub, if any.
+    fn scrub(&mut self, now: MemCycle) -> Option<usize> {
+        let repaired = if let Some(&addr) = self.corrupt.iter().next() {
+            self.corrupt.remove(&addr);
+            let payload = self.versions.get(&addr).copied().unwrap_or(0).to_le_bytes();
+            self.integrity.record(addr, &payload);
+            self.scrub_repairs += 1;
+            self.owners.get(&addr).copied()
+        } else {
+            None
+        };
+        for i in 0..self.health.len() {
+            if let Some(t) = self.health[i].tick(now) {
+                self.transitions.push((i, t));
+            }
+            if self.health[i].state() == HealthState::Probation {
+                // Probe read against the sub's own burst schedule: while
+                // the injected burst is still active the probe fails and
+                // re-trips quarantine; once it passes, clean probes
+                // accumulate toward promotion.
+                let flip = self.sub_injectors[i].roll(FaultKind::BitFlip, now);
+                let forge = self.sub_injectors[i].roll(FaultKind::ForgeMac, now);
+                let t = if flip || forge {
+                    self.health[i].on_failure(now)
+                } else {
+                    self.health[i].on_probe_success(now)
+                };
+                if let Some(t) = t {
+                    self.transitions.push((i, t));
+                }
+            }
+        }
+        repaired
     }
 
     /// Processes one ORAM-class completion from sub-channel `sub`.
@@ -261,6 +495,9 @@ impl SdIntegrity {
     ) -> SdVerdict {
         let ticket = self.inflight.remove(&c.request.id);
         let orig = ticket.map_or(c.request.id, |t| t.orig);
+        if self.parity {
+            self.owners.insert(c.request.addr, sub);
+        }
         if c.request.op == MemOp::Write {
             // Every path write bumps the bucket version and re-tags it.
             let v = self.versions.entry(c.request.addr).or_insert(0);
@@ -269,7 +506,8 @@ impl SdIntegrity {
             self.integrity.record(c.request.addr, &payload);
             return SdVerdict::Deliver(orig);
         }
-        if self.injector.is_disabled() || self.quarantined[sub] {
+        let overlay_on = !self.sub_injectors[sub].is_disabled();
+        if (self.injector.is_disabled() && !overlay_on) || !self.health[sub].is_serving() {
             return SdVerdict::Deliver(orig);
         }
         let addr = c.request.addr;
@@ -281,9 +519,17 @@ impl SdIntegrity {
         if self.injector.roll(FaultKind::BitFlip, now) {
             self.injector.flip_bit(&mut wire);
         }
-        let forged = self.injector.roll(FaultKind::ForgeMac, now);
+        let mut forged = self.injector.roll(FaultKind::ForgeMac, now);
+        if overlay_on {
+            // Site-scoped burst targeting this sub-channel alone.
+            if self.sub_injectors[sub].roll(FaultKind::BitFlip, now) {
+                self.sub_injectors[sub].flip_bit(&mut wire);
+            }
+            forged |= self.sub_injectors[sub].roll(FaultKind::ForgeMac, now);
+        }
         if !forged && self.integrity.verify(addr, &wire) {
-            self.consec[sub] = 0;
+            let t = self.health[sub].on_success(now);
+            self.note(sub, t);
             if let Some(t) = ticket {
                 self.recovery_cycles += now.0 - t.detect.0;
             }
@@ -292,20 +538,41 @@ impl SdIntegrity {
 
         // Failed verification: recover, quarantine, or give up.
         self.integrity_failures += 1;
-        self.consec[sub] += 1;
+        let was_share = self.rebuild_shares.contains_key(&orig.0);
         let (detect, attempts) = ticket.map_or((now, 1), |t| (t.detect, t.attempts + 1));
-        if self.consec[sub] >= self.policy.quarantine_threshold {
-            self.quarantined[sub] = true;
+        let transition = self.health[sub].on_failure(now);
+        let tripped = transition.is_some_and(|t| t.to == HealthState::Quarantined);
+        self.note(sub, transition);
+        if tripped {
+            self.mark_corrupt(sub);
+            if self.parity && !was_share && self.can_rebuild(None) {
+                // The quarantined sub's copy is lost; reconstruct from the
+                // survivors and keep running degraded instead of latching.
+                return SdVerdict::Rebuild {
+                    orig,
+                    addr,
+                    exclude: None,
+                };
+            }
             self.latch(SimError::fault(
                 format!("sd sub-channel {sub}"),
                 format!(
                     "quarantined after {} consecutive integrity failures",
-                    self.consec[sub]
+                    self.health[sub].consecutive_failures()
                 ),
             ));
             return SdVerdict::Deliver(orig);
         }
         if attempts > self.policy.refetch_limit {
+            if self.parity && !was_share && self.can_rebuild(Some(sub)) {
+                // This copy is unrecoverable; rebuild it from the other
+                // sub-channels' shares rather than giving up.
+                return SdVerdict::Rebuild {
+                    orig,
+                    addr,
+                    exclude: Some(sub),
+                };
+            }
             self.latch(SimError::integrity(
                 addr,
                 format!("re-fetch budget ({}) exhausted", self.policy.refetch_limit),
@@ -324,13 +591,19 @@ impl SdIntegrity {
     }
 
     fn stats(&self) -> SdFaultStats {
+        let now = MemCycle(self.now_hint);
         SdFaultStats {
             integrity_failures: self.integrity_failures,
             refetches: self.refetches,
             recovery_cycles: self.recovery_cycles,
-            quarantined_subs: (0..self.quarantined.len())
-                .filter(|&i| self.quarantined[i])
+            quarantined_subs: (0..self.health.len())
+                .filter(|&i| self.health[i].is_quarantined())
                 .collect(),
+            parity_rebuilds: self.parity_rebuilds,
+            scrub_repairs: self.scrub_repairs,
+            health: self.health.iter().map(|h| h.state()).collect(),
+            quarantine_entries: self.health.iter().map(|h| h.quarantine_entries()).collect(),
+            unhealthy_cycles: self.health.iter().map(|h| h.unhealthy_cycles(now)).collect(),
         }
     }
 }
@@ -355,6 +628,12 @@ pub struct SecureChannel {
     sd_integrity: SdIntegrity,
     /// Recovery reads waiting for sub-channel capacity: (sub, request).
     pending_refetch: VecDeque<(usize, MemRequest)>,
+    /// Parity-rebuild share reads waiting for sub-channel capacity.
+    pending_rebuild: VecDeque<(usize, MemRequest)>,
+    /// Parity striping on (degraded routing in the sink).
+    parity: bool,
+    /// Background scrub period (0 disables).
+    scrub_every: u64,
     /// Trace recorder; `None` (the default) keeps the hot path silent.
     obs: Option<SharedRecorder>,
 }
@@ -379,6 +658,7 @@ impl SecureChannel {
             link.set_fault_plan(&cfg.fault_plan, 0);
         }
         let n_subs = cfg.sub_channels.len();
+        let sd_integrity = SdIntegrity::new(&cfg, n_subs);
         SecureChannel {
             link,
             subs: cfg.sub_channels.into_iter().map(SubChannel::new).collect(),
@@ -398,8 +678,11 @@ impl SecureChannel {
             merge_bufs: cfg
                 .merge_split_reads
                 .then(|| vec![SplitBatch::new(); 8]),
-            sd_integrity: SdIntegrity::new(&cfg.fault_plan, cfg.recovery, cfg.seed, n_subs),
+            sd_integrity,
             pending_refetch: VecDeque::new(),
+            pending_rebuild: VecDeque::new(),
+            parity: cfg.parity,
+            scrub_every: cfg.scrub_every,
             obs: None,
         }
     }
@@ -457,16 +740,30 @@ impl SecureChannel {
     }
 
     /// Faults injected so far: serial-link faults plus the SD's DRAM
-    /// bit-flip/forge faults.
+    /// bit-flip/forge faults, including per-sub-channel hostile bursts.
     pub fn fault_counts(&self) -> FaultCounts {
         let mut total = self.link.fault_counts();
         total.absorb(&self.sd_integrity.injector.counts());
+        for inj in &self.sd_integrity.sub_injectors {
+            total.absorb(&inj.counts());
+        }
         total
     }
 
     /// Counters of the SD's integrity verification and recovery.
     pub fn sd_fault_stats(&self) -> SdFaultStats {
         self.sd_integrity.stats()
+    }
+
+    /// Current health state of each SD sub-channel.
+    pub fn sub_health(&self) -> Vec<HealthState> {
+        self.sd_integrity.health.iter().map(|h| h.state()).collect()
+    }
+
+    /// Whether the channel is operating degraded: parity is covering for
+    /// at least one out-of-service sub-channel.
+    pub fn degraded(&self) -> bool {
+        self.parity && self.sd_integrity.health.iter().any(|h| !h.is_serving())
     }
 
     /// The first unrecovered fault on the channel: a quarantine /
@@ -476,16 +773,41 @@ impl SecureChannel {
         self.sd_integrity.fault.as_ref().or_else(|| self.link.fault())
     }
 
+    /// The first latched SD integrity fault (quarantine without parity
+    /// cover, or an exhausted re-fetch budget), if any.
+    pub fn sd_fault(&self) -> Option<&SimError> {
+        self.sd_integrity.fault.as_ref()
+    }
+
+    /// The first latched serial-link fault (exhausted retry budget), if
+    /// any. The frame was still delivered, so the run may have drained.
+    pub fn link_fault(&self) -> Option<&SimError> {
+        self.link.fault()
+    }
+
+    /// Health states of the serial link's two directions (to-mem, to-cpu).
+    pub fn link_health(&self) -> (HealthState, HealthState) {
+        self.link.health()
+    }
+
     /// One-line summary of the dynamic state, for watchdog diagnostics.
     pub fn debug_state(&self) -> String {
         let subs: Vec<String> = self.subs.iter().map(|s| s.debug_state()).collect();
+        let health: Vec<&str> = self
+            .sd_integrity
+            .health
+            .iter()
+            .map(|h| h.state().name())
+            .collect();
         format!(
-            "fsm=[{}] mc_pending={} resp_pending={} out_pending={} refetch={} subs=[{}]",
+            "fsm=[{}] mc_pending={} resp_pending={} out_pending={} refetch={} rebuild={} health=[{}] subs=[{}]",
             self.fsm.debug_state(),
             self.mc_pending.len(),
             self.resp_pending.len(),
             self.out_pending.len(),
             self.pending_refetch.len(),
+            self.pending_rebuild.len(),
+            health.join(","),
             subs.join(" | ")
         )
     }
@@ -578,6 +900,7 @@ impl SecureChannel {
         split_reads: &mut Vec<SplitFetch>,
         split_writes: &mut Vec<SplitFetch>,
     ) {
+        self.sd_integrity.now_hint = now.0;
         // 1. Link movement.
         let mut at_mem = Vec::new();
         let mut at_cpu = Vec::new();
@@ -645,6 +968,9 @@ impl SecureChannel {
                 ids: &mut self.local_ids,
                 s_app: self.s_app,
                 merge_bufs: self.merge_bufs.as_deref_mut(),
+                integrity: &mut self.sd_integrity,
+                rebuild: &mut self.pending_rebuild,
+                parity: self.parity,
             };
             self.fsm.tick(now, &mut sink, &mut events);
         }
@@ -688,6 +1014,14 @@ impl SecureChannel {
                 Err(_) => break,
             }
         }
+        while let Some(&(si, req)) = self.pending_rebuild.front() {
+            match self.subs[si].enqueue(req) {
+                Ok(()) => {
+                    self.pending_rebuild.pop_front();
+                }
+                Err(_) => break,
+            }
+        }
         for si in 0..self.subs.len() {
             self.scratch.clear();
             self.subs[si].tick(now, &mut self.scratch);
@@ -708,9 +1042,15 @@ impl SecureChannel {
                         }
                     }
                     match verdict {
-                        SdVerdict::Deliver(id) => {
-                            self.fsm.on_block_complete(id);
-                        }
+                        SdVerdict::Deliver(id) => match self.sd_integrity.resolve_delivery(id) {
+                            Delivered::Regular(id) => {
+                                self.fsm.on_block_complete(id);
+                            }
+                            Delivered::RebuildDone(orig) => {
+                                self.fsm.on_block_complete(orig);
+                            }
+                            Delivered::RebuildPartial => {}
+                        },
                         SdVerdict::Refetch(req) => {
                             if let Some(obs) = &self.obs {
                                 obs.borrow_mut().instant(
@@ -722,12 +1062,66 @@ impl SecureChannel {
                             }
                             self.pending_refetch.push_back((si, req));
                         }
+                        SdVerdict::Rebuild { orig, addr, exclude } => {
+                            if let Some(obs) = &self.obs {
+                                obs.borrow_mut().instant(
+                                    Subsystem::Fault,
+                                    EventKind::Recovery,
+                                    now.0,
+                                    si as u64,
+                                );
+                            }
+                            let started = self.sd_integrity.start_rebuild(
+                                orig,
+                                addr,
+                                self.s_app,
+                                now,
+                                &mut self.local_ids,
+                                &mut self.pending_rebuild,
+                                exclude,
+                            );
+                            // can_rebuild was checked when the verdict was
+                            // issued, within the same call stack.
+                            debug_assert!(started, "rebuild with no serving shares");
+                            if !started {
+                                self.fsm.on_block_complete(orig);
+                            }
+                        }
                     }
                 } else {
                     match c.request.op {
                         MemOp::Read => self.resp_pending.push_back(c),
                         MemOp::Write => ns_completed.push(c),
                     }
+                }
+            }
+        }
+
+        // 4b. Background scrubber: during idle bus cycles the SD walks
+        // the tree re-verifying MACs; modelled as one parity repair and
+        // one probe round per period, charged zero bus time.
+        if self.scrub_every > 0 && now.0 > 0 && now.0.is_multiple_of(self.scrub_every) {
+            let repaired = self.sd_integrity.scrub(now);
+            if let (Some(sub), Some(obs)) = (repaired, &self.obs) {
+                obs.borrow_mut().instant(
+                    Subsystem::Fault,
+                    EventKind::ScrubRepair,
+                    now.0,
+                    sub as u64,
+                );
+            }
+        }
+        // Emit any health transitions recorded this tick.
+        if !self.sd_integrity.transitions.is_empty() {
+            let transitions = std::mem::take(&mut self.sd_integrity.transitions);
+            if let Some(obs) = &self.obs {
+                for (sub, t) in transitions {
+                    obs.borrow_mut().instant(
+                        Subsystem::Sd,
+                        EventKind::HealthTransition,
+                        now.0,
+                        t.event_value(sub as u64),
+                    );
                 }
             }
         }
@@ -834,15 +1228,26 @@ impl Snapshot for SdIntegrity {
             integrity,
             versions,
             injector,
+            sub_injectors,
             policy: _,
-            consec,
-            quarantined,
+            health,
+            parity: _, // config
             integrity_failures,
             refetches,
             recovery_cycles,
+            parity_rebuilds,
+            scrub_repairs,
             fault,
             inflight,
+            rebuild_shares,
+            rebuild_groups,
+            next_group,
+            owners,
+            corrupt,
+            transitions, // drained within every tick; empty between ticks
+            now_hint,
         } = self;
+        debug_assert!(transitions.is_empty(), "transitions drain each tick");
         // export_tags returns addr-sorted pairs, so the payload is
         // independent of hash order.
         let tags = integrity.export_tags();
@@ -859,17 +1264,19 @@ impl Snapshot for SdIntegrity {
             w.put_u64(v);
         }
         injector.save_state(w);
-        w.put_usize(consec.len());
-        for &c in consec {
-            w.put_u32(c);
+        w.put_usize(sub_injectors.len());
+        for inj in sub_injectors {
+            inj.save_state(w);
         }
-        w.put_usize(quarantined.len());
-        for &q in quarantined {
-            w.put_bool(q);
+        w.put_usize(health.len());
+        for h in health {
+            h.save_state(w);
         }
         w.put_u64(*integrity_failures);
         w.put_u64(*refetches);
         w.put_u64(*recovery_cycles);
+        w.put_u64(*parity_rebuilds);
+        w.put_u64(*scrub_repairs);
         put_opt_sim_error(w, fault);
         let mut tickets: Vec<(u64, RefetchTicket)> =
             inflight.iter().map(|(id, t)| (id.0, *t)).collect();
@@ -881,6 +1288,35 @@ impl Snapshot for SdIntegrity {
             w.put_u64(t.detect.0);
             w.put_u32(t.attempts);
         }
+        let mut shares: Vec<(u64, u64)> = rebuild_shares.iter().map(|(&s, &g)| (s, g)).collect();
+        shares.sort_unstable_by_key(|&(s, _)| s);
+        w.put_usize(shares.len());
+        for (share, gid) in shares {
+            w.put_u64(share);
+            w.put_u64(gid);
+        }
+        let mut groups: Vec<(u64, RequestId, u32)> = rebuild_groups
+            .iter()
+            .map(|(&g, &(orig, left))| (g, orig, left))
+            .collect();
+        groups.sort_unstable_by_key(|&(g, _, _)| g);
+        w.put_usize(groups.len());
+        for (gid, orig, left) in groups {
+            w.put_u64(gid);
+            w.put_u64(orig.0);
+            w.put_u32(left);
+        }
+        w.put_u64(*next_group);
+        w.put_usize(owners.len());
+        for (&addr, &sub) in owners {
+            w.put_u64(addr);
+            w.put_usize(sub);
+        }
+        w.put_usize(corrupt.len());
+        for &addr in corrupt {
+            w.put_u64(addr);
+        }
+        w.put_u64(*now_hint);
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
@@ -904,23 +1340,25 @@ impl Snapshot for SdIntegrity {
             self.versions.insert(addr, v);
         }
         self.injector.load_state(r)?;
-        if r.get_usize()? != self.consec.len() {
-            return Err(SnapshotError::new("sub-channel count mismatch (consec)"));
-        }
-        for c in self.consec.iter_mut() {
-            *c = r.get_u32()?;
-        }
-        if r.get_usize()? != self.quarantined.len() {
+        if r.get_usize()? != self.sub_injectors.len() {
             return Err(SnapshotError::new(
-                "sub-channel count mismatch (quarantined)",
+                "sub-channel count mismatch (sub injectors)",
             ));
         }
-        for q in self.quarantined.iter_mut() {
-            *q = r.get_bool()?;
+        for inj in self.sub_injectors.iter_mut() {
+            inj.load_state(r)?;
+        }
+        if r.get_usize()? != self.health.len() {
+            return Err(SnapshotError::new("sub-channel count mismatch (health)"));
+        }
+        for h in self.health.iter_mut() {
+            h.load_state(r)?;
         }
         self.integrity_failures = r.get_u64()?;
         self.refetches = r.get_u64()?;
         self.recovery_cycles = r.get_u64()?;
+        self.parity_rebuilds = r.get_u64()?;
+        self.scrub_repairs = r.get_u64()?;
         self.fault = get_opt_sim_error(r)?;
         self.inflight.clear();
         for _ in 0..r.get_usize()? {
@@ -937,6 +1375,32 @@ impl Snapshot for SdIntegrity {
                 },
             );
         }
+        self.rebuild_shares.clear();
+        for _ in 0..r.get_usize()? {
+            let share = r.get_u64()?;
+            let gid = r.get_u64()?;
+            self.rebuild_shares.insert(share, gid);
+        }
+        self.rebuild_groups.clear();
+        for _ in 0..r.get_usize()? {
+            let gid = r.get_u64()?;
+            let orig = RequestId(r.get_u64()?);
+            let left = r.get_u32()?;
+            self.rebuild_groups.insert(gid, (orig, left));
+        }
+        self.next_group = r.get_u64()?;
+        self.owners.clear();
+        for _ in 0..r.get_usize()? {
+            let addr = r.get_u64()?;
+            let sub = r.get_usize()?;
+            self.owners.insert(addr, sub);
+        }
+        self.corrupt.clear();
+        for _ in 0..r.get_usize()? {
+            self.corrupt.insert(r.get_u64()?);
+        }
+        self.transitions.clear();
+        self.now_hint = r.get_u64()?;
         Ok(())
     }
 }
@@ -956,6 +1420,9 @@ impl Snapshot for SecureChannel {
             merge_bufs,
             sd_integrity,
             pending_refetch,
+            pending_rebuild,
+            parity: _,      // config
+            scrub_every: _, // config
             obs: _, // re-wired by the host after restore
         } = self;
         link.save_state_with(w, put_sec_msg);
@@ -992,6 +1459,11 @@ impl Snapshot for SecureChannel {
         sd_integrity.save_state(w);
         w.put_usize(pending_refetch.len());
         for (sub, req) in pending_refetch {
+            w.put_usize(*sub);
+            put_mem_request(w, req);
+        }
+        w.put_usize(pending_rebuild.len());
+        for (sub, req) in pending_rebuild {
             w.put_usize(*sub);
             put_mem_request(w, req);
         }
@@ -1041,6 +1513,12 @@ impl Snapshot for SecureChannel {
             let req = get_mem_request(r)?;
             self.pending_refetch.push_back((sub, req));
         }
+        self.pending_rebuild.clear();
+        for _ in 0..r.get_usize()? {
+            let sub = r.get_usize()?;
+            let req = get_mem_request(r)?;
+            self.pending_rebuild.push_back((sub, req));
+        }
         Ok(())
     }
 }
@@ -1055,6 +1533,12 @@ struct SdSink<'a> {
     /// When `Some`, split reads coalesce per channel instead of emitting
     /// one short packet each.
     merge_bufs: Option<&'a mut [SplitBatch]>,
+    /// Health view + rebuild bookkeeping for degraded routing.
+    integrity: &'a mut SdIntegrity,
+    /// Parity-rebuild share reads queued with back-pressure.
+    rebuild: &'a mut VecDeque<(usize, MemRequest)>,
+    /// Degraded routing enabled (parity striping on).
+    parity: bool,
 }
 
 /// Cap on SD→CPU messages queued locally before the sink back-pressures.
@@ -1064,6 +1548,49 @@ impl BlockSink for SdSink<'_> {
     fn try_block(&mut self, op: MemOp, block: &BlockRef, now: MemCycle) -> Issued {
         match block.placement {
             Placement::TreeUnit(u) => {
+                // Degraded routing: with parity on, traffic homed on an
+                // out-of-service sub-channel is covered by the survivors —
+                // reads rebuild from N−1 shares, writes remap cyclically.
+                // With no serving sub left (total loss, fault latched) the
+                // request falls through to its home sub so the run drains.
+                if self.parity && !self.integrity.is_serving(u) && self.integrity.any_serving() {
+                    match op {
+                        MemOp::Read => {
+                            let orig = self.ids.next_id();
+                            let started = self.integrity.start_rebuild(
+                                orig,
+                                ORAM_REGION_BASE + block.addr,
+                                self.s_app,
+                                now,
+                                self.ids,
+                                self.rebuild,
+                                None,
+                            );
+                            debug_assert!(started, "any_serving checked");
+                            return Issued::Tracked(orig);
+                        }
+                        MemOp::Write => {
+                            let n = self.subs.len();
+                            let target = (1..n)
+                                .map(|d| (u + d) % n)
+                                .find(|&s| self.integrity.is_serving(s))
+                                .expect("any_serving checked");
+                            let id = self.ids.next_id();
+                            let req = MemRequest {
+                                id,
+                                app: self.s_app,
+                                op,
+                                addr: ORAM_REGION_BASE + block.addr,
+                                class: RequestClass::Oram,
+                                arrival: now,
+                            };
+                            return match self.subs[target].enqueue(req) {
+                                Ok(()) => Issued::Tracked(id),
+                                Err(_) => Issued::Busy,
+                            };
+                        }
+                    }
+                }
                 let id = self.ids.next_id();
                 let req = MemRequest {
                     id,
@@ -1135,6 +1662,10 @@ mod tests {
             sd_pipeline: false,
             fault_plan: FaultPlan::none(),
             recovery: RecoveryPolicy::default(),
+            parity: false,
+            scrub_every: 0,
+            probation_window: 0,
+            probation_successes: 4,
         }
     }
 
@@ -1365,7 +1896,13 @@ mod tests {
         ch.send_secure(OramJob::Dummy);
         run(&mut ch, 5_000);
         let stats = ch.sd_fault_stats();
-        assert_eq!(stats, SdFaultStats::default());
+        let expected = SdFaultStats {
+            health: vec![HealthState::Healthy; 4],
+            quarantine_entries: vec![0; 4],
+            unhealthy_cycles: vec![0; 4],
+            ..SdFaultStats::default()
+        };
+        assert_eq!(stats, expected);
         assert_eq!(ch.fault_counts(), FaultCounts::default());
         assert_eq!(ch.link_stats().retransmissions, 0);
     }
@@ -1378,5 +1915,208 @@ mod tests {
         let (to_mem, to_cpu) = ch.link_bytes();
         assert_eq!(to_mem, 72, "one secure request packet");
         assert_eq!(to_cpu, 72, "one response packet");
+    }
+
+    /// Closed-loop driver: sends the next job as soon as the previous
+    /// response crosses the link, up to `jobs` total.
+    fn run_closed_loop(ch: &mut SecureChannel, jobs: usize, cycles: u64) -> Out {
+        let mut out = Out {
+            ns: vec![],
+            resp: vec![],
+            sr: vec![],
+            sw: vec![],
+        };
+        let mut sent = 1usize;
+        ch.send_secure(OramJob::Dummy);
+        for c in 0..cycles {
+            ch.tick(MemCycle(c), &mut out.ns, &mut out.resp, &mut out.sr, &mut out.sw);
+            if out.resp.len() == sent && sent < jobs {
+                ch.send_secure(OramJob::Dummy);
+                sent += 1;
+            }
+        }
+        out
+    }
+
+    /// A permanent 100% MAC-forgery burst on one sub-channel's site.
+    fn hostile_sub_plan(seed: u64, sub: u64, start: u64, end: u64) -> FaultPlan {
+        use doram_sim::fault::{FaultRates, FaultWindow};
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+        .site_window(
+            SD_SUB_SITE_BASE + sub,
+            FaultWindow {
+                start: MemCycle(start),
+                end: MemCycle(end),
+                rates: FaultRates {
+                    forge_mac_ppm: 1_000_000,
+                    ..FaultRates::none()
+                },
+            },
+        )
+    }
+
+    #[test]
+    fn quarantined_sub_degrades_with_parity_and_completes() {
+        let mut ch = SecureChannel::new(SecureChannelConfig {
+            parity: true,
+            fault_plan: hostile_sub_plan(77, 1, 0, 1_000_000),
+            ..cfg(0)
+        });
+        let out = run_closed_loop(&mut ch, 8, 300_000);
+        assert_eq!(out.resp.len(), 8, "run survives a hostile sub-channel");
+        assert!(ch.fault().is_none(), "parity degrades instead of latching");
+        assert!(ch.degraded(), "channel reports the degraded episode");
+        let stats = ch.sd_fault_stats();
+        assert_eq!(stats.quarantined_subs, vec![1]);
+        assert_eq!(stats.health[1], HealthState::Quarantined);
+        assert_eq!(stats.quarantine_entries, vec![0, 1, 0, 0]);
+        assert!(stats.parity_rebuilds > 0, "reads were reconstructed");
+        assert!(stats.unhealthy_cycles[1] > 0);
+        assert_eq!(ch.sub_health()[1], HealthState::Quarantined);
+        // Healthy siblings absorbed the quarantined sub's writes.
+        assert!(ch.sub_channel(1).stats().reads.get() > 0, "pre-trip traffic");
+    }
+
+    #[test]
+    fn without_parity_quarantine_still_fail_stops() {
+        let mut ch = SecureChannel::new(SecureChannelConfig {
+            fault_plan: hostile_sub_plan(77, 1, 0, 1_000_000),
+            ..cfg(0)
+        });
+        run_closed_loop(&mut ch, 8, 300_000);
+        let fault = ch.fault().expect("legacy fail-stop preserved");
+        assert!(fault.to_string().contains("quarantined"), "{fault}");
+    }
+
+    #[test]
+    fn scrubber_repairs_and_probation_promotes() {
+        let mut ch = SecureChannel::new(SecureChannelConfig {
+            parity: true,
+            scrub_every: 250,
+            probation_window: 3_000,
+            probation_successes: 2,
+            fault_plan: hostile_sub_plan(21, 2, 0, 30_000),
+            ..cfg(0)
+        });
+        let out = run_closed_loop(&mut ch, 16, 300_000);
+        assert_eq!(out.resp.len(), 16);
+        assert!(ch.fault().is_none());
+        let stats = ch.sd_fault_stats();
+        assert_eq!(
+            stats.health[2],
+            HealthState::Healthy,
+            "probation promoted the sub once the burst ended"
+        );
+        assert!(stats.quarantine_entries[2] >= 1, "episode was recorded");
+        assert!(stats.scrub_repairs > 0, "scrubber repaired marked buckets");
+        assert!(stats.quarantined_subs.is_empty(), "fully recovered");
+        assert!(!ch.degraded(), "no longer degraded after promotion");
+    }
+
+    #[test]
+    fn degradation_knobs_are_inert_on_a_clean_run() {
+        let run_one = |parity: bool| {
+            let mut ch = SecureChannel::new(SecureChannelConfig {
+                parity,
+                scrub_every: if parity { 100 } else { 0 },
+                probation_window: if parity { 1_000 } else { 0 },
+                probation_successes: 4,
+                ..cfg(0)
+            });
+            let out = run_closed_loop(&mut ch, 4, 40_000);
+            assert_eq!(out.resp.len(), 4);
+            ch
+        };
+        let off = run_one(false);
+        let on = run_one(true);
+        assert_eq!(off.oram_stats().dummy_accesses.get(), 4);
+        assert_eq!(
+            on.oram_stats().dummy_accesses.get(),
+            off.oram_stats().dummy_accesses.get()
+        );
+        assert_eq!(on.link_bytes(), off.link_bytes());
+        for i in 0..4 {
+            assert_eq!(
+                on.sub_channel(i).stats().reads.get(),
+                off.sub_channel(i).stats().reads.get(),
+                "sub {i} reads"
+            );
+            assert_eq!(
+                on.sub_channel(i).stats().writes.get(),
+                off.sub_channel(i).stats().writes.get(),
+                "sub {i} writes"
+            );
+        }
+        let on_stats = on.sd_fault_stats();
+        assert_eq!(on_stats.integrity_failures, 0);
+        assert_eq!(on_stats.parity_rebuilds, 0);
+        assert_eq!(on_stats.scrub_repairs, 0);
+        assert_eq!(on_stats.health, vec![HealthState::Healthy; 4]);
+    }
+
+    #[test]
+    fn degraded_run_snapshot_round_trips() {
+        use doram_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let mk = || {
+            SecureChannel::new(SecureChannelConfig {
+                parity: true,
+                scrub_every: 250,
+                probation_window: 3_000,
+                probation_successes: 2,
+                fault_plan: hostile_sub_plan(21, 2, 0, 30_000),
+                ..cfg(0)
+            })
+        };
+        // Reference: one uninterrupted run.
+        let mut full = mk();
+        let full_out = run_closed_loop(&mut full, 12, 120_000);
+
+        // Same run split at a cycle where sub 2 is mid-quarantine.
+        let mut a = mk();
+        let mut out = Out {
+            ns: vec![],
+            resp: vec![],
+            sr: vec![],
+            sw: vec![],
+        };
+        let mut sent = 1usize;
+        a.send_secure(OramJob::Dummy);
+        let split = 20_000u64;
+        for c in 0..split {
+            a.tick(MemCycle(c), &mut out.ns, &mut out.resp, &mut out.sr, &mut out.sw);
+            if out.resp.len() == sent && sent < 12 {
+                a.send_secure(OramJob::Dummy);
+                sent += 1;
+            }
+        }
+        assert_eq!(
+            a.sub_health()[2],
+            HealthState::Quarantined,
+            "split lands mid-episode"
+        );
+        let mut w = SnapshotWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = mk();
+        b.load_state(&mut SnapshotReader::new(&bytes)).unwrap();
+        for c in split..120_000 {
+            b.tick(MemCycle(c), &mut out.ns, &mut out.resp, &mut out.sr, &mut out.sw);
+            if out.resp.len() == sent && sent < 12 {
+                b.send_secure(OramJob::Dummy);
+                sent += 1;
+            }
+        }
+        assert_eq!(out.resp, full_out.resp, "resumed run matches uninterrupted");
+        assert_eq!(b.sd_fault_stats(), full.sd_fault_stats());
+        assert_eq!(b.link_bytes(), full.link_bytes());
+        // And the resumed state re-serializes identically to the original.
+        let mut w_full = SnapshotWriter::new();
+        full.save_state(&mut w_full);
+        let mut w_b = SnapshotWriter::new();
+        b.save_state(&mut w_b);
+        assert_eq!(w_full.into_bytes(), w_b.into_bytes());
     }
 }

@@ -887,6 +887,10 @@ impl Simulation {
                     sd_pipeline: cfg.sd_pipeline,
                     fault_plan: cfg.fault_plan.clone(),
                     recovery: cfg.recovery,
+                    parity: cfg.parity,
+                    scrub_every: cfg.scrub_every,
+                    probation_window: cfg.probation_window,
+                    probation_successes: cfg.probation_successes,
                 });
                 let mut normals = ChannelFabric::bob(cfg.channels - 1, cfg.link, &sub_cfg);
                 if !cfg.fault_plan.is_zero() {
@@ -1181,6 +1185,17 @@ impl Simulation {
                 rec.metrics.set("fault.refetches", sd.refetches as f64);
                 rec.metrics
                     .set("fault.retransmissions", link.retransmissions as f64);
+                rec.metrics
+                    .set("fault.parity_rebuilds", sd.parity_rebuilds as f64);
+                rec.metrics
+                    .set("fault.scrub_repairs", sd.scrub_repairs as f64);
+                for (i, h) in sd.health.iter().enumerate() {
+                    rec.metrics
+                        .set(&format!("health.sub{i}"), *h as u8 as f64);
+                }
+                let (lm, lc) = secure.link_health();
+                rec.metrics.set("health.link_to_mem", lm as u8 as f64);
+                rec.metrics.set("health.link_to_cpu", lc as u8 as f64);
                 let split_backlog = split_fwd.len() + pending_split.len() + pending_deliver.len();
                 rec.metrics.set("split.backlog", split_backlog as f64);
             }
@@ -1393,13 +1408,15 @@ impl Simulation {
             }
             self.cycle += 1;
         }
-        // Escalate exhausted fault recovery: a latched link or integrity
-        // fail-stop means the run's results cannot be trusted.
-        if let Backend::DOram {
-            normals, secure, ..
-        } = &self.mem.backend
-        {
-            if let Some(fault) = secure.fault().or_else(|| normals.fault()) {
+        // Escalate exhausted SD integrity recovery: unauthenticated data
+        // may have been served, so the run's results cannot be trusted.
+        // Link retry exhaustion is different — the frame was still
+        // delivered (the link latches the fault but keeps going), so a
+        // run that drained afterwards completes and surfaces the latched
+        // fault through `FaultReport::latched_fault` instead of silently
+        // discarding its results behind a hard error.
+        if let Backend::DOram { secure, .. } = &self.mem.backend {
+            if let Some(fault) = secure.sd_fault() {
                 return Err(SimError::IntegrityFailStop {
                     detail: fault.to_string(),
                 });
@@ -1543,11 +1560,23 @@ fn fault_report(secure: &SecureChannel, normals: &ChannelFabric) -> crate::metri
         retransmissions: link.retransmissions,
         crc_errors: link.crc_errors,
         timeouts: link.timeouts,
+        exhausted_retries: link.exhausted_retries,
         link_recovery_cycles: link.recovery_cycles,
         integrity_failures: sd.integrity_failures,
         refetches: sd.refetches,
         sd_recovery_cycles: sd.recovery_cycles,
         quarantined_subs: sd.quarantined_subs,
+        parity_rebuilds: sd.parity_rebuilds,
+        scrub_repairs: sd.scrub_repairs,
+        sub_health: sd.health,
+        quarantine_entries: sd.quarantine_entries,
+        unhealthy_cycles: sd.unhealthy_cycles,
+        // A drained run can still carry a latched link fault (the retry
+        // budget ran out but the frame was delivered); record it.
+        latched_fault: secure
+            .fault()
+            .or_else(|| normals.fault())
+            .map(|f| f.to_string()),
     }
 }
 
@@ -1998,6 +2027,48 @@ mod tests {
             matches!(err, SimError::IntegrityFailStop { .. }),
             "expected fail-stop, got {err:?}"
         );
+    }
+
+    #[test]
+    fn drained_run_surfaces_latched_link_fault() {
+        use doram_sim::fault::{FaultPlan, FaultRates, FaultWindow};
+        // A short 100%-corruption burst on the secure link exhausts at
+        // least one frame's retry budget; the frame is still delivered,
+        // so the run drains — and the latched fault must appear in the
+        // report instead of being silently swallowed.
+        let cfg = SystemConfig::builder(Benchmark::Libq)
+            .scheme(Scheme::DOram { k: 0, c: 7 })
+            .ns_accesses(400)
+            .tree_l_max(12)
+            .max_mem_cycles(50_000_000)
+            .fault_plan(
+                FaultPlan {
+                    seed: 11,
+                    ..FaultPlan::none()
+                }
+                .site_window(
+                    0,
+                    FaultWindow {
+                        start: doram_sim::MemCycle(1_000),
+                        end: doram_sim::MemCycle(6_000),
+                        rates: FaultRates {
+                            corrupt_ppm: 1_000_000,
+                            ..FaultRates::none()
+                        },
+                    },
+                ),
+            )
+            .build()
+            .unwrap();
+        let report = Simulation::new(cfg).unwrap().run().unwrap();
+        let fr = report.faults.as_ref().expect("fault block present");
+        assert!(fr.exhausted_retries > 0, "budget must have run out: {fr:?}");
+        let latched = fr
+            .latched_fault
+            .as_ref()
+            .expect("latched fault surfaces in the drained run's report");
+        assert!(latched.contains("retry budget exhausted"), "{latched}");
+        assert!(fr.any_activity());
     }
 
     fn ckpt_dir(name: &str) -> std::path::PathBuf {

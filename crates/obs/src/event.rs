@@ -169,10 +169,17 @@ pub enum EventKind {
     /// A recovery action ran (retransmission, re-fetch); `value` =
     /// running count.
     Recovery = 15,
+    /// A component's health state changed; `value` packs
+    /// `component << 16 | from << 8 | to`
+    /// (see `doram_sim::health::HealthTransition::event_value`).
+    HealthTransition = 16,
+    /// The background scrubber repaired one bucket from parity;
+    /// `value` = sub-channel index.
+    ScrubRepair = 17,
 }
 
 /// Every event kind, in tag order.
-pub const ALL_KINDS: [EventKind; 16] = [
+pub const ALL_KINDS: [EventKind; 18] = [
     EventKind::AccessBegin,
     EventKind::AccessEnd,
     EventKind::DummyIssued,
@@ -189,6 +196,8 @@ pub const ALL_KINDS: [EventKind; 16] = [
     EventKind::StashOccupancy,
     EventKind::FaultDetected,
     EventKind::Recovery,
+    EventKind::HealthTransition,
+    EventKind::ScrubRepair,
 ];
 
 impl EventKind {
@@ -211,6 +220,8 @@ impl EventKind {
             EventKind::StashOccupancy => "stash_occupancy",
             EventKind::FaultDetected => "fault_detected",
             EventKind::Recovery => "recovery",
+            EventKind::HealthTransition => "health_transition",
+            EventKind::ScrubRepair => "scrub_repair",
         }
     }
 

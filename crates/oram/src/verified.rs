@@ -23,6 +23,7 @@ use crate::stash::Stash;
 use crate::tree::TreeGeometry;
 use doram_crypto::integrity::BucketIntegrity;
 use doram_sim::fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan};
+use doram_sim::health::{HealthMonitor, HealthPolicy, HealthState};
 use doram_sim::{MemCycle, SimError};
 use std::collections::HashMap;
 
@@ -90,11 +91,10 @@ pub struct VerifiedOram {
     injector: FaultInjector,
     policy: RecoveryPolicy,
     stats: RecoveryStats,
-    /// Consecutive failed verifications; resets on any clean fetch.
-    consecutive_failures: u32,
-    /// Latched once the quarantine threshold trips: all further accesses
-    /// fail fast.
-    quarantined: bool,
+    /// The store's circuit breaker: consecutive failed verifications walk
+    /// it to quarantine, where (with no probation window configured) it
+    /// latches and all further accesses fail fast.
+    health: HealthMonitor,
     accesses: u64,
 }
 
@@ -147,8 +147,10 @@ impl VerifiedOram {
             injector: plan.injector(0x5D00),
             policy,
             stats: RecoveryStats::default(),
-            consecutive_failures: 0,
-            quarantined: false,
+            health: HealthMonitor::new(HealthPolicy {
+                quarantine_threshold: policy.quarantine_threshold,
+                ..HealthPolicy::default()
+            }),
             accesses: 0,
         }
     }
@@ -180,7 +182,12 @@ impl VerifiedOram {
 
     /// Whether the store has tripped the fail-stop quarantine.
     pub fn is_quarantined(&self) -> bool {
-        self.quarantined
+        self.health.is_quarantined()
+    }
+
+    /// The store's current health state.
+    pub fn health(&self) -> HealthState {
+        self.health.state()
     }
 
     /// Reads `block`, returning its value if it was ever written.
@@ -220,22 +227,21 @@ impl VerifiedOram {
             }
             let forged = self.injector.roll(FaultKind::ForgeMac, now);
             if !forged && self.integrity.verify(bucket, &wire) {
-                self.consecutive_failures = 0;
+                self.health.on_success(now);
                 if attempt == 0 {
                     self.stats.clean_reads += 1;
                 }
                 return Ok(decode(&wire));
             }
             self.stats.integrity_failures += 1;
-            self.consecutive_failures += 1;
-            self.stats.worst_streak = self.stats.worst_streak.max(self.consecutive_failures);
-            if self.consecutive_failures >= self.policy.quarantine_threshold {
-                self.quarantined = true;
+            self.health.on_failure(now);
+            let streak = self.health.consecutive_failures();
+            self.stats.worst_streak = self.stats.worst_streak.max(streak);
+            if self.health.is_quarantined() {
                 return Err(SimError::fault(
                     "sd bucket store",
                     format!(
-                        "quarantined after {} consecutive integrity failures (bucket {bucket})",
-                        self.consecutive_failures
+                        "quarantined after {streak} consecutive integrity failures (bucket {bucket})"
                     ),
                 ));
             }
@@ -254,7 +260,7 @@ impl VerifiedOram {
 
     /// One full Path ORAM access over the verified store.
     fn access(&mut self, block: u64, new_value: Option<u64>) -> Result<Option<u64>, SimError> {
-        if self.quarantined {
+        if self.health.is_quarantined() {
             return Err(SimError::fault(
                 "sd bucket store",
                 "store is quarantined (fail-stop)",

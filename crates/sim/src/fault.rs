@@ -149,6 +149,18 @@ impl FaultWindow {
     }
 }
 
+/// A burst scoped to a single injection site: while active it overrides
+/// the global schedule, but *only* for the injector at exactly `site`.
+/// Every other site keeps the base/window rates — the tool for modeling a
+/// targeted attack (one hostile sub-channel) rather than ambient noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteWindow {
+    /// The injection site this window targets.
+    pub site: u64,
+    /// The scheduled burst.
+    pub window: FaultWindow,
+}
+
 /// The complete, deterministic fault schedule for a run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FaultPlan {
@@ -158,6 +170,9 @@ pub struct FaultPlan {
     pub base: FaultRates,
     /// Scheduled bursts. The *last* window containing a cycle wins.
     pub windows: Vec<FaultWindow>,
+    /// Site-scoped bursts. While one is active it overrides the global
+    /// schedule for its site alone; the last containing window wins.
+    pub site_windows: Vec<SiteWindow>,
 }
 
 impl FaultPlan {
@@ -172,6 +187,7 @@ impl FaultPlan {
             seed,
             base,
             windows: Vec::new(),
+            site_windows: Vec::new(),
         }
     }
 
@@ -181,9 +197,17 @@ impl FaultPlan {
         self
     }
 
+    /// Builder-style: appends a site-scoped window.
+    pub fn site_window(mut self, site: u64, window: FaultWindow) -> FaultPlan {
+        self.site_windows.push(SiteWindow { site, window });
+        self
+    }
+
     /// True when neither the base rates nor any window can fire.
     pub fn is_zero(&self) -> bool {
-        self.base.is_zero() && self.windows.iter().all(|w| w.rates.is_zero())
+        self.base.is_zero()
+            && self.windows.iter().all(|w| w.rates.is_zero())
+            && self.site_windows.iter().all(|s| s.window.rates.is_zero())
     }
 
     /// The rates in effect at `now`: the last containing window, else base.
@@ -196,10 +220,46 @@ impl FaultPlan {
             .unwrap_or(self.base)
     }
 
+    /// The rates the injector at `site` sees at `now`: the last containing
+    /// site-scoped window for that site, else the global schedule.
+    pub fn rates_at_site(&self, site: u64, now: MemCycle) -> FaultRates {
+        self.site_windows
+            .iter()
+            .rev()
+            .find(|s| s.site == site && s.window.contains(now))
+            .map(|s| s.window.rates)
+            .unwrap_or_else(|| self.rates_at(now))
+    }
+
+    /// Whether any site-scoped window targets `site`.
+    pub fn has_site_windows(&self, site: u64) -> bool {
+        self.site_windows.iter().any(|s| s.site == site)
+    }
+
+    /// The plan's schedule *restricted to* `site`'s overlay windows: base
+    /// rates of zero, the site's scoped windows promoted to plain windows.
+    /// An injector built from this derived plan fires only during the
+    /// site-scoped bursts — the overlay roller layered on top of a shared
+    /// injector so legacy (siteless) plans stay bit-identical.
+    pub fn site_plan(&self, site: u64) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            base: FaultRates::none(),
+            windows: self
+                .site_windows
+                .iter()
+                .filter(|s| s.site == site)
+                .map(|s| s.window)
+                .collect(),
+            site_windows: Vec::new(),
+        }
+    }
+
     /// Validates base and window rates, and window bounds.
     pub fn validate(&self) -> Result<(), SimError> {
         self.base.validate()?;
-        for w in &self.windows {
+        let site_bounds = self.site_windows.iter().map(|s| &s.window);
+        for w in self.windows.iter().chain(site_bounds) {
             w.rates.validate()?;
             if w.start.0 >= w.end.0 {
                 return Err(SimError::config(format!(
@@ -218,6 +278,7 @@ impl FaultPlan {
     pub fn injector(&self, site: u64) -> FaultInjector {
         FaultInjector {
             plan: self.clone(),
+            site,
             rng: Xoshiro256::stream(self.seed ^ FAULT_STREAM_SALT, site),
             counts: FaultCounts::default(),
         }
@@ -273,6 +334,7 @@ impl FaultCounts {
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
+    site: u64,
     rng: Xoshiro256,
     counts: FaultCounts,
 }
@@ -283,10 +345,15 @@ impl FaultInjector {
         FaultPlan::none().injector(0)
     }
 
+    /// The site this injector rolls for.
+    pub fn site(&self) -> u64 {
+        self.site
+    }
+
     /// Rolls whether a fault of `kind` fires at `now`, bumping counters on a
     /// hit. A zero rate consumes no randomness.
     pub fn roll(&mut self, kind: FaultKind, now: MemCycle) -> bool {
-        let ppm = self.plan.rates_at(now).rate(kind);
+        let ppm = self.plan.rates_at_site(self.site, now).rate(kind);
         if ppm == 0 {
             return false;
         }
@@ -299,7 +366,7 @@ impl FaultInjector {
 
     /// The configured delay depth at `now` (memory cycles).
     pub fn delay_cycles(&self, now: MemCycle) -> u64 {
-        self.plan.rates_at(now).delay_cycles
+        self.plan.rates_at_site(self.site, now).delay_cycles
     }
 
     /// Flips one uniformly chosen bit of `payload` (no-op when empty).
@@ -354,9 +421,11 @@ impl crate::snapshot::Snapshot for FaultCounts {
 
 impl crate::snapshot::Snapshot for FaultInjector {
     fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
-        // The plan is configuration; only the roll cursor and tallies move.
+        // The plan and site are configuration; only the roll cursor and
+        // tallies move.
         let FaultInjector {
             plan: _,
+            site: _,
             rng,
             counts,
         } = self;
@@ -471,6 +540,58 @@ mod tests {
         assert_eq!(plan.rates_at(MemCycle(550)).corrupt_ppm, 0);
         assert_eq!(plan.rates_at(MemCycle(600)).corrupt_ppm, 1_000_000);
         assert_eq!(plan.rates_at(MemCycle(1000)).corrupt_ppm, 0);
+    }
+
+    #[test]
+    fn site_windows_target_one_site_only() {
+        let burst = FaultWindow {
+            start: MemCycle(100),
+            end: MemCycle(200),
+            rates: link_rates(1_000_000),
+        };
+        let plan = FaultPlan::with_rates(5, FaultRates::none()).site_window(7, burst);
+        assert!(!plan.is_zero(), "a site window arms the plan");
+        // The targeted site fires inside the window; other sites never do.
+        let mut hit = plan.injector(7);
+        let mut other = plan.injector(8);
+        assert!(!hit.roll(FaultKind::CorruptFrame, MemCycle(99)));
+        assert!(hit.roll(FaultKind::CorruptFrame, MemCycle(150)));
+        assert!(!other.roll(FaultKind::CorruptFrame, MemCycle(150)));
+        assert_eq!(other.counts().total(), 0);
+    }
+
+    #[test]
+    fn site_plan_extracts_the_overlay_schedule() {
+        let burst = FaultWindow {
+            start: MemCycle(10),
+            end: MemCycle(20),
+            rates: link_rates(1_000_000),
+        };
+        let plan = FaultPlan::with_rates(5, link_rates(250_000)).site_window(3, burst);
+        let derived = plan.site_plan(3);
+        // The derived plan drops base rates and keeps only site 3's bursts.
+        assert_eq!(derived.base, FaultRates::none());
+        assert_eq!(derived.windows, vec![burst]);
+        assert!(derived.site_windows.is_empty());
+        assert!(plan.site_plan(4).is_zero(), "untargeted sites get nothing");
+        assert!(plan.has_site_windows(3));
+        assert!(!plan.has_site_windows(4));
+    }
+
+    #[test]
+    fn siteless_plans_roll_identically_with_the_site_field() {
+        // The site-aware lookup must not change the schedule of a plan
+        // with no site windows (legacy determinism contract).
+        let plan = FaultPlan::with_rates(42, link_rates(250_000));
+        let mut inj = plan.injector(3);
+        for i in 0..500 {
+            assert_eq!(
+                plan.rates_at(MemCycle(i)),
+                plan.rates_at_site(3, MemCycle(i))
+            );
+            inj.roll(FaultKind::CorruptFrame, MemCycle(i));
+        }
+        assert!(inj.counts().total() > 0);
     }
 
     #[test]

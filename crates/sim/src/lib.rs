@@ -26,6 +26,7 @@
 pub mod clock;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod id;
 pub mod queue;
 pub mod rng;
@@ -34,7 +35,10 @@ pub mod stats;
 
 pub use clock::{CpuCycle, MemCycle, CPU_CYCLES_PER_MEM_CYCLE, TCK_PICOS};
 pub use error::{ConfigError, SimError};
-pub use fault::{FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultRates, FaultWindow};
+pub use fault::{
+    FaultCounts, FaultInjector, FaultKind, FaultPlan, FaultRates, FaultWindow, SiteWindow,
+};
+pub use health::{HealthMonitor, HealthPolicy, HealthState, HealthTransition};
 pub use id::{AppId, ChannelId, CoreId, RequestId, RequestIdGen, SubChannelId};
 pub use queue::BoundedQueue;
 pub use rng::Xoshiro256;

@@ -42,7 +42,7 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"DORAMCKP";
 
 /// Checkpoint format version. Bumped on any incompatible layout change;
 /// older files are rejected, never misread.
-pub const CHECKPOINT_VERSION: u32 = 2;
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// A malformed, truncated, or incompatible snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -90,11 +90,44 @@ fn build_config(opts: &Opts) -> Result<SystemConfig, String> {
         .ns_accesses(opts.get_u64("accesses", 2_000)?)
         .seed(opts.get_u64("seed", 1)?)
         .merge_split_reads(opts.has_flag("merge"))
-        .sd_pipeline(opts.has_flag("pipeline"));
+        .sd_pipeline(opts.has_flag("pipeline"))
+        .parity(opts.has_flag("parity"))
+        .scrub_every(opts.get_u64("scrub-every", 0)?)
+        .probation_window(opts.get_u64("probation-window", 0)?)
+        .probation_successes(opts.get_u64("probation-successes", 4)? as u32);
     if let Some(t) = opts.get("dummy-interval") {
         b = b.dummy_interval(t.parse().map_err(|_| "--dummy-interval expects a number")?);
     }
+    if let Some(sub) = opts.get("chaos-sub") {
+        let sub: u64 = sub
+            .parse()
+            .map_err(|_| format!("--chaos-sub expects a sub-channel index, got '{sub}'"))?;
+        b = b.fault_plan(chaos_plan(opts.get_u64("seed", 1)?, sub, opts.get_u64("chaos-at", 10_000)?));
+    }
     b.build().map_err(|e| e.to_string())
+}
+
+/// The chaos-soak plan: from `start` on, every bucket read on secure
+/// sub-channel `sub` comes back with a forged MAC — the sustained
+/// hostile-region fault that quarantines the sub-channel mid-run.
+fn chaos_plan(seed: u64, sub: u64, start: u64) -> doram::sim::fault::FaultPlan {
+    use doram::core::secure_channel::SD_SUB_SITE_BASE;
+    use doram::sim::fault::{FaultPlan, FaultRates, FaultWindow};
+    FaultPlan {
+        seed,
+        ..FaultPlan::none()
+    }
+    .site_window(
+        SD_SUB_SITE_BASE + sub,
+        FaultWindow {
+            start: doram::sim::MemCycle(start),
+            end: doram::sim::MemCycle(u64::MAX),
+            rates: FaultRates {
+                forge_mac_ppm: 1_000_000,
+                ..FaultRates::none()
+            },
+        },
+    )
 }
 
 fn print_report(r: &RunReport) {
@@ -130,6 +163,30 @@ fn print_report(r: &RunReport) {
     }
     if let Some((up, down)) = r.secure_link_bytes {
         println!("secure link: {up} B to SD, {down} B to CPU");
+    }
+    if let Some(fr) = &r.faults {
+        if fr.any_activity() {
+            println!(
+                "faults     : {} injected, {} retransmissions, {} integrity failures, {} refetches",
+                fr.injected.total(),
+                fr.retransmissions,
+                fr.integrity_failures,
+                fr.refetches
+            );
+        }
+        if fr.degraded_episode() {
+            let health: Vec<String> = fr.sub_health.iter().map(|h| h.to_string()).collect();
+            println!(
+                "degraded   : health [{}], {} parity rebuilds, {} scrub repairs, episodes {:?}",
+                health.join(", "),
+                fr.parity_rebuilds,
+                fr.scrub_repairs,
+                fr.quarantine_entries
+            );
+        }
+        if let Some(latched) = &fr.latched_fault {
+            println!("LATCHED    : {latched}");
+        }
     }
     println!("DRAM energy : {:.3} mJ", r.total_energy_mj());
 }
@@ -393,6 +450,16 @@ fn cmd_list() {
     }
     println!("\nschemes: solo | 7ns-4ch | 7ns-3ch | baseline | secmem | partition | doram (--k 0..3 --c 0..7)");
     println!("flags  : --merge (split-read merging) --pipeline (SD pipelining)");
+    println!(
+        "degraded mode: --parity (rebuild lost buckets from surviving sub-channels) \
+         --scrub-every N (background scrub/probe period) \
+         --probation-window N (cycles before a quarantined sub may probe back in) \
+         --probation-successes N (clean probes required, default 4)"
+    );
+    println!(
+        "chaos  : --chaos-sub I (sub-channel I turns hostile: 100% forged MACs) \
+         --chaos-at N (onset cycle, default 10000)"
+    );
     println!("crash-safety: --checkpoint-every N --checkpoint-dir DIR --resume FILE --watchdog N");
     println!(
         "tracing: --trace-out FILE (Perfetto JSON + metrics sidecars) \
@@ -404,6 +471,8 @@ fn cmd_list() {
 const USAGE: &str = "usage: doram-cli <run|sweep-c|profile|check|trace|list> [--bench NAME] [--scheme NAME]
     [--k 0..3] [--c 0..7] [--accesses N] [--seed N] [--dummy-interval T]
     [--merge] [--pipeline] [--json] [--out FILE]
+    [--parity] [--scrub-every N] [--probation-window N] [--probation-successes N]
+    [--chaos-sub I] [--chaos-at N]
     [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--watchdog N]
     [--trace-out FILE] [--trace-filter SUBS] [--metrics-every N] [--trace-ring N]
        doram-cli trace <summarize|validate> FILE [--min-accesses N]";
@@ -578,5 +647,49 @@ mod tests {
         assert!(cfg.merge_split_reads);
         assert!(cfg.sd_pipeline);
         assert!(build_config(&opts(&["--k", "9"])).is_err());
+    }
+
+    #[test]
+    fn degraded_mode_flags() {
+        // Defaults: everything off — bit-identical to the legacy run.
+        let cfg = build_config(&opts(&[])).unwrap();
+        assert!(!cfg.parity);
+        assert_eq!(cfg.scrub_every, 0);
+        assert_eq!(cfg.probation_window, 0);
+        assert_eq!(cfg.probation_successes, 4);
+
+        let cfg = build_config(&opts(&[
+            "--parity",
+            "--scrub-every",
+            "5000",
+            "--probation-window",
+            "200000",
+            "--probation-successes",
+            "2",
+        ]))
+        .unwrap();
+        assert!(cfg.parity);
+        assert_eq!(cfg.scrub_every, 5_000);
+        assert_eq!(cfg.probation_window, 200_000);
+        assert_eq!(cfg.probation_successes, 2);
+
+        // Validation: probation needs the scrubber's probes.
+        assert!(build_config(&opts(&["--probation-window", "1000"])).is_err());
+    }
+
+    #[test]
+    fn chaos_flags_install_a_hostile_sub_plan() {
+        // Default: no chaos, no fault plan.
+        let cfg = build_config(&opts(&[])).unwrap();
+        assert_eq!(cfg.fault_plan, doram::sim::fault::FaultPlan::none());
+
+        let cfg = build_config(&opts(&[
+            "--seed", "7", "--chaos-sub", "2", "--chaos-at", "5000", "--parity",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.fault_plan, chaos_plan(7, 2, 5_000));
+        assert_ne!(cfg.fault_plan, doram::sim::fault::FaultPlan::none());
+
+        assert!(build_config(&opts(&["--chaos-sub", "nope"])).is_err());
     }
 }
