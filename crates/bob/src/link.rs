@@ -123,6 +123,10 @@ pub struct LinkStats {
     pub delayed_frames: u64,
     /// Frames whose retry budget ran out (each also latches a fault).
     pub exhausted_retries: u64,
+    /// Stale duplicate frames re-supplied by an adversary (old,
+    /// correctly-MAC'd copies) and discarded by the receiver's sequence
+    /// check. The genuine frame is unaffected.
+    pub stale_drops: u64,
     /// Total extra memory cycles spent recovering (NAK round trips,
     /// timeout waits, backoff, re-serialization, injected delays).
     pub recovery_cycles: u64,
@@ -136,6 +140,7 @@ impl LinkStats {
         self.timeouts += other.timeouts;
         self.delayed_frames += other.delayed_frames;
         self.exhausted_retries += other.exhausted_retries;
+        self.stale_drops += other.stale_drops;
         self.recovery_cycles += other.recovery_cycles;
     }
 }
@@ -148,6 +153,7 @@ impl doram_sim::snapshot::Snapshot for LinkStats {
             timeouts,
             delayed_frames,
             exhausted_retries,
+            stale_drops,
             recovery_cycles,
         } = self;
         w.put_u64(*retransmissions);
@@ -155,6 +161,7 @@ impl doram_sim::snapshot::Snapshot for LinkStats {
         w.put_u64(*timeouts);
         w.put_u64(*delayed_frames);
         w.put_u64(*exhausted_retries);
+        w.put_u64(*stale_drops);
         w.put_u64(*recovery_cycles);
     }
 
@@ -167,6 +174,7 @@ impl doram_sim::snapshot::Snapshot for LinkStats {
         self.timeouts = r.get_u64()?;
         self.delayed_frames = r.get_u64()?;
         self.exhausted_retries = r.get_u64()?;
+        self.stale_drops = r.get_u64()?;
         self.recovery_cycles = r.get_u64()?;
         Ok(())
     }
@@ -272,6 +280,14 @@ impl<M> Direction<M> {
         if self.injector.roll(FaultKind::DelayFrame, now) {
             penalty += self.injector.delay_cycles(now);
             self.stats.delayed_frames += 1;
+        }
+        // An adversarial replay re-supplies an old, correctly-MAC'd copy
+        // of an earlier frame alongside this one. The link protocol's
+        // sequence numbers expose the stale duplicate immediately, so it
+        // is discarded without delaying the genuine frame or perturbing
+        // the direction's health: the attack is detected, not absorbed.
+        if self.injector.roll(FaultKind::ReplayStale, now) {
+            self.stats.stale_drops += 1;
         }
         let mut attempt = 0u32;
         loop {
@@ -948,6 +964,35 @@ mod tests {
         // Healthy→Degraded on the first failure, Degraded→Quarantined on
         // the sixteenth; component id 0 (cpu->mem).
         assert_eq!(transitions, vec![1, (1 << 8) | 2]);
+    }
+
+    #[test]
+    fn replayed_stale_frames_are_counted_and_discarded() {
+        // A replay re-supplies an old frame; the sequence check discards
+        // it, so delivery order, count, and timing match a clean run.
+        let mut clean: Link<u32> = Link::new(LinkConfig::default());
+        let mut attacked: Link<u32> = Link::new(LinkConfig::default());
+        let plan = FaultPlan::with_rates(
+            21,
+            FaultRates {
+                replay_ppm: 400_000,
+                ..FaultRates::none()
+            },
+        );
+        attacked.set_fault_plan(&plan, 0);
+        for i in 0..30u32 {
+            clean.send_to_mem(72, i).unwrap();
+            attacked.send_to_mem(72, i).unwrap();
+        }
+        let got_clean = drain(&mut clean, 2_000);
+        let got_attacked = drain(&mut attacked, 2_000);
+        assert_eq!(got_clean, got_attacked, "stale copies never perturb delivery");
+        let stats = attacked.stats();
+        assert!(stats.stale_drops > 0, "stale drops {}", stats.stale_drops);
+        assert_eq!(stats.retransmissions, 0);
+        assert_eq!(stats.recovery_cycles, 0);
+        assert!(attacked.fault_counts().replays > 0);
+        assert_eq!(attacked.worst_health(), HealthState::Healthy);
     }
 
     #[test]

@@ -50,6 +50,19 @@ pub struct FaultReport {
     pub parity_rebuilds: u64,
     /// Buckets re-tagged by the background scrubber.
     pub scrub_repairs: u64,
+    /// Stale replays detected: SD bucket serves rejected by the freshness
+    /// tree plus link frames discarded by the sequence check.
+    pub replay_detected: u64,
+    /// Relocated (cross-address spliced) buckets rejected by the SD's
+    /// address-bound tag.
+    pub relocation_detected: u64,
+    /// Rollback-burst serves rejected by the SD's freshness tree.
+    pub rollback_rejected: u64,
+    /// Freshness-tree walks performed (zero unless an adversary is
+    /// modeled and the tree armed).
+    pub freshness_ops: u64,
+    /// Modeled memory cycles those walks charged to accesses.
+    pub freshness_cycles: u64,
     /// Final health state per secure sub-channel (empty without an SD).
     pub sub_health: Vec<HealthState>,
     /// Quarantine episodes entered per secure sub-channel.
@@ -79,6 +92,11 @@ impl PartialEq for FaultReport {
             quarantined_subs,
             parity_rebuilds,
             scrub_repairs,
+            replay_detected,
+            relocation_detected,
+            rollback_rejected,
+            freshness_ops,
+            freshness_cycles,
             sub_health,
             quarantine_entries,
             unhealthy_cycles,
@@ -101,6 +119,11 @@ impl PartialEq for FaultReport {
             && sorted(quarantined_subs) == sorted(&other.quarantined_subs)
             && *parity_rebuilds == other.parity_rebuilds
             && *scrub_repairs == other.scrub_repairs
+            && *replay_detected == other.replay_detected
+            && *relocation_detected == other.relocation_detected
+            && *rollback_rejected == other.rollback_rejected
+            && *freshness_ops == other.freshness_ops
+            && *freshness_cycles == other.freshness_cycles
             && *sub_health == other.sub_health
             && *quarantine_entries == other.quarantine_entries
             && *unhealthy_cycles == other.unhealthy_cycles
@@ -116,6 +139,9 @@ impl FaultReport {
         self.injected.total() > 0
             || self.retransmissions > 0
             || self.integrity_failures > 0
+            || self.replay_detected > 0
+            || self.relocation_detected > 0
+            || self.rollback_rejected > 0
             || !self.quarantined_subs.is_empty()
             || self.latched_fault.is_some()
     }

@@ -161,13 +161,17 @@ pub fn report_json(r: &crate::metrics::RunReport) -> String {
                 concat!(
                     "\"faults\":{{",
                     "\"injected\":{{\"corrupt_frames\":{},\"drop_frames\":{},",
-                    "\"delay_frames\":{},\"bit_flips\":{},\"forged_macs\":{}}},",
+                    "\"delay_frames\":{},\"bit_flips\":{},\"forged_macs\":{},",
+                    "\"replays\":{},\"relocations\":{},\"rollback_bursts\":{}}},",
                     "\"retransmissions\":{},\"crc_errors\":{},\"timeouts\":{},",
                     "\"exhausted_retries\":{},",
                     "\"link_recovery_cycles\":{},\"integrity_failures\":{},",
                     "\"refetches\":{},\"sd_recovery_cycles\":{},",
                     "\"quarantined_subs\":[{}],",
                     "\"parity_rebuilds\":{},\"scrub_repairs\":{},",
+                    "\"replay_detected\":{},\"relocation_detected\":{},",
+                    "\"rollback_rejected\":{},",
+                    "\"freshness_ops\":{},\"freshness_cycles\":{},",
                     "\"sub_health\":[{}],\"quarantine_entries\":[{}],",
                     "\"unhealthy_cycles\":[{}],",
                     "\"degraded_episode\":{},\"latched_fault\":{}}},"
@@ -177,6 +181,9 @@ pub fn report_json(r: &crate::metrics::RunReport) -> String {
                 fr.injected.delay_frames,
                 fr.injected.bit_flips,
                 fr.injected.forged_macs,
+                fr.injected.replays,
+                fr.injected.relocations,
+                fr.injected.rollback_bursts,
                 fr.retransmissions,
                 fr.crc_errors,
                 fr.timeouts,
@@ -188,6 +195,11 @@ pub fn report_json(r: &crate::metrics::RunReport) -> String {
                 quarantined.join(","),
                 fr.parity_rebuilds,
                 fr.scrub_repairs,
+                fr.replay_detected,
+                fr.relocation_detected,
+                fr.rollback_rejected,
+                fr.freshness_ops,
+                fr.freshness_cycles,
                 health.join(","),
                 entries.join(","),
                 unhealthy.join(","),
@@ -278,6 +290,11 @@ mod tests {
                 quarantined_subs: vec![1],
                 parity_rebuilds: 4,
                 scrub_repairs: 5,
+                replay_detected: 6,
+                relocation_detected: 7,
+                rollback_rejected: 8,
+                freshness_ops: 9,
+                freshness_cycles: 126,
                 sub_health: vec![
                     doram_sim::health::HealthState::Healthy,
                     doram_sim::health::HealthState::Quarantined,
@@ -300,6 +317,12 @@ mod tests {
         assert!(j.contains("\"exhausted_retries\":1"));
         assert!(j.contains("\"parity_rebuilds\":4"));
         assert!(j.contains("\"scrub_repairs\":5"));
+        assert!(j.contains("\"replay_detected\":6"));
+        assert!(j.contains("\"relocation_detected\":7"));
+        assert!(j.contains("\"rollback_rejected\":8"));
+        assert!(j.contains("\"freshness_ops\":9"));
+        assert!(j.contains("\"freshness_cycles\":126"));
+        assert!(j.contains("\"rollback_bursts\":0"));
         assert!(j.contains("\"sub_health\":[\"healthy\",\"quarantined\"]"));
         assert!(j.contains("\"quarantine_entries\":[0,1]"));
         assert!(j.contains("\"unhealthy_cycles\":[0,1234]"));

@@ -19,7 +19,7 @@ use crate::onchip_oram::{
 use crate::onchip_oram::ORAM_REGION_BASE;
 use doram_bob::packet::PacketKind;
 use doram_bob::{Link, LinkConfig, LinkStats};
-use doram_crypto::{BucketIntegrity, DIGEST_BYTES};
+use doram_crypto::{BucketIntegrity, MerkleTree, DIGEST_BYTES};
 use doram_dram::request::{get_completion, get_mem_request, put_completion, put_mem_request};
 use doram_dram::{Completion, MemOp, MemRequest, RequestClass, SubChannel, SubChannelConfig};
 use doram_obs::{EventKind, SharedRecorder, Subsystem};
@@ -37,6 +37,19 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 /// rolls site-scoped bursts at site `SD_SUB_SITE_BASE + i` (the shared
 /// bus keeps site 0x5D00).
 pub const SD_SUB_SITE_BASE: u64 = 0x5D10;
+
+/// Depth of the SD's freshness Merkle tree when armed: `2^14` leaves,
+/// one per distinct bucket address, assigned on first touch. Runs that
+/// touch more buckets than there are leaves gracefully fall back to
+/// per-bucket CMAC protection for the overflow addresses (freshness is
+/// then only best-effort there — noted in SECURITY.md).
+const FRESHNESS_DEPTH: u32 = 14;
+/// Modeled memory cycles per tree level walked when verifying or
+/// re-hashing a bucket's freshness leaf.
+const FRESHNESS_HOP_CYCLES: u64 = 1;
+/// Modeled cycles charged per freshness-tree operation: one
+/// root-to-leaf walk over the on-chip node cache.
+const FRESHNESS_COST: u64 = FRESHNESS_DEPTH as u64 * FRESHNESS_HOP_CYCLES;
 
 /// A split-level block operation forwarded through the CPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +217,18 @@ pub struct SdFaultStats {
     pub parity_rebuilds: u64,
     /// Buckets re-tagged by the background scrubber.
     pub scrub_repairs: u64,
+    /// Stale bucket replays rejected by the freshness tree.
+    pub replay_detected: u64,
+    /// Relocated (cross-address spliced) buckets rejected by the
+    /// address-bound tag.
+    pub relocation_detected: u64,
+    /// Rollback-burst serves rejected by the freshness tree.
+    pub rollback_rejected: u64,
+    /// Freshness-tree walks performed (verifications + re-hashes); zero
+    /// whenever the fault plan carries no adversarial rates.
+    pub freshness_ops: u64,
+    /// Modeled memory cycles charged for those walks.
+    pub freshness_cycles: u64,
     /// Current health state per sub-channel.
     pub health: Vec<HealthState>,
     /// Quarantine entries per sub-channel (degraded-episode count).
@@ -262,6 +287,21 @@ struct SdIntegrity {
     /// timing simulation carries no data, so the version stands in for
     /// the bucket contents: every write re-tags, every read re-verifies.
     versions: HashMap<u64, u64>,
+    /// Previous version per bucket: the stale-but-once-authentic image a
+    /// replay or rollback adversary re-supplies. Tracked only while the
+    /// freshness tree is armed.
+    prev_versions: HashMap<u64, u64>,
+    /// Freshness Merkle tree, armed iff the fault plan carries any
+    /// adversarial rates ([`FaultPlan::has_adversary`]). The root models
+    /// the SD's tamper-proof on-chip freshness register; since the
+    /// per-bucket CMAC tag store lives in the same untrusted DRAM as the
+    /// buckets, replayed (tag, payload) pairs verify under CMAC alone and
+    /// only the tree catches them. `None` on legacy plans: no
+    /// allocation, no modeled cost, no behavioural change.
+    freshness: Option<MerkleTree>,
+    /// Bucket address → freshness leaf, assigned on first touch.
+    leaves: HashMap<u64, u64>,
+    next_leaf: u64,
     injector: FaultInjector,
     /// Per-sub overlay injectors rolling *only* site-scoped bursts at
     /// site `SD_SUB_SITE_BASE + i`. A plan without site windows leaves
@@ -278,6 +318,16 @@ struct SdIntegrity {
     recovery_cycles: u64,
     parity_rebuilds: u64,
     scrub_repairs: u64,
+    /// Stale replays caught by the freshness tree.
+    replay_detected: u64,
+    /// Relocated (spliced) buckets caught by the address-bound tag.
+    relocation_detected: u64,
+    /// Rollback-burst serves caught by the freshness tree.
+    rollback_rejected: u64,
+    /// Freshness-tree walks performed (leaf verifications + re-hashes).
+    freshness_ops: u64,
+    /// Modeled cycles charged for those walks.
+    freshness_cycles: u64,
     /// First fail-stop condition (quarantine or exhausted re-fetches).
     fault: Option<SimError>,
     /// Outstanding recovery reads: local id → ticket.
@@ -315,6 +365,12 @@ impl SdIntegrity {
         SdIntegrity {
             integrity: BucketIntegrity::new(key),
             versions: HashMap::new(),
+            prev_versions: HashMap::new(),
+            freshness: plan
+                .has_adversary()
+                .then(|| MerkleTree::new(FRESHNESS_DEPTH, key)),
+            leaves: HashMap::new(),
+            next_leaf: 0,
             // Site 0x5D00: the SD's DRAM bus, distinct from link sites.
             injector: plan.injector(0x5D00),
             sub_injectors: (0..n_subs)
@@ -331,6 +387,11 @@ impl SdIntegrity {
             recovery_cycles: 0,
             parity_rebuilds: 0,
             scrub_repairs: 0,
+            replay_detected: 0,
+            relocation_detected: 0,
+            rollback_rejected: 0,
+            freshness_ops: 0,
+            freshness_cycles: 0,
             fault: None,
             inflight: HashMap::new(),
             rebuild_shares: HashMap::new(),
@@ -341,6 +402,43 @@ impl SdIntegrity {
             transitions: Vec::new(),
             now_hint: 0,
         }
+    }
+
+    /// The authenticated bucket image: address ‖ version, both LE. The
+    /// address half makes two buckets at the same version distinct, so
+    /// a relocated copy never aliases the expected image.
+    fn payload_bytes(addr: u64, version: u64) -> [u8; 16] {
+        let mut p = [0u8; 16];
+        p[..8].copy_from_slice(&addr.to_le_bytes());
+        p[8..].copy_from_slice(&version.to_le_bytes());
+        p
+    }
+
+    /// The freshness leaf for `addr`, assigning (and adopting the current
+    /// image into) one on first touch. `None` when the tree is unarmed or
+    /// its leaves are exhausted (the bucket then keeps CMAC-only cover).
+    fn leaf_for(&mut self, addr: u64, current: &[u8; 16]) -> Option<u64> {
+        self.freshness.as_ref()?;
+        if let Some(&l) = self.leaves.get(&addr) {
+            return Some(l);
+        }
+        let tree = self.freshness.as_mut().expect("checked above");
+        if self.next_leaf >= tree.num_leaves() {
+            return None;
+        }
+        let l = self.next_leaf;
+        self.next_leaf += 1;
+        self.leaves.insert(addr, l);
+        // First sight: adopt, mirroring BucketIntegrity::verify_or_adopt.
+        tree.update(l, current);
+        Some(l)
+    }
+
+    /// Charges one modeled root-to-leaf walk.
+    fn charge_walk(&mut self) -> u64 {
+        self.freshness_ops += 1;
+        self.freshness_cycles += FRESHNESS_COST;
+        FRESHNESS_COST
     }
 
     fn latch(&mut self, fault: SimError) {
@@ -454,8 +552,13 @@ impl SdIntegrity {
     fn scrub(&mut self, now: MemCycle) -> Option<usize> {
         let repaired = if let Some(&addr) = self.corrupt.iter().next() {
             self.corrupt.remove(&addr);
-            let payload = self.versions.get(&addr).copied().unwrap_or(0).to_le_bytes();
+            let payload =
+                Self::payload_bytes(addr, self.versions.get(&addr).copied().unwrap_or(0));
             self.integrity.record(addr, &payload);
+            if let Some(leaf) = self.leaf_for(addr, &payload) {
+                let tree = self.freshness.as_mut().expect("leaf implies tree");
+                tree.update(leaf, &payload);
+            }
             self.scrub_repairs += 1;
             self.owners.get(&addr).copied()
         } else {
@@ -472,7 +575,10 @@ impl SdIntegrity {
                 // accumulate toward promotion.
                 let flip = self.sub_injectors[i].roll(FaultKind::BitFlip, now);
                 let forge = self.sub_injectors[i].roll(FaultKind::ForgeMac, now);
-                let t = if flip || forge {
+                let replay = self.sub_injectors[i].roll(FaultKind::ReplayStale, now);
+                let reloc = self.sub_injectors[i].roll(FaultKind::RelocateBucket, now);
+                let rewind = self.sub_injectors[i].roll(FaultKind::RollbackBurst, now);
+                let t = if flip || forge || replay || reloc || rewind {
                     self.health[i].on_failure(now)
                 } else {
                     self.health[i].on_probe_success(now)
@@ -486,57 +592,133 @@ impl SdIntegrity {
     }
 
     /// Processes one ORAM-class completion from sub-channel `sub`.
+    /// Returns the verdict plus the modeled freshness-verification cycles
+    /// to charge before the delivery becomes visible to the FSM.
     fn on_oram_completion(
         &mut self,
         sub: usize,
         c: &Completion,
         now: MemCycle,
         ids: &mut RequestIdGen,
-    ) -> SdVerdict {
+    ) -> (SdVerdict, u64) {
         let ticket = self.inflight.remove(&c.request.id);
         let orig = ticket.map_or(c.request.id, |t| t.orig);
         if self.parity {
             self.owners.insert(c.request.addr, sub);
         }
+        let armed = self.freshness.is_some();
         if c.request.op == MemOp::Write {
             // Every path write bumps the bucket version and re-tags it.
-            let v = self.versions.entry(c.request.addr).or_insert(0);
+            let addr = c.request.addr;
+            let v = self.versions.entry(addr).or_insert(0);
+            let old = *v;
             *v += 1;
-            let payload = v.to_le_bytes();
-            self.integrity.record(c.request.addr, &payload);
-            return SdVerdict::Deliver(orig);
+            let version = *v;
+            let payload = Self::payload_bytes(addr, version);
+            self.integrity.record(addr, &payload);
+            let mut cost = 0;
+            if armed {
+                self.prev_versions.insert(addr, old);
+                if let Some(leaf) = self.leaf_for(addr, &payload) {
+                    let tree = self.freshness.as_mut().expect("leaf implies tree");
+                    tree.update(leaf, &payload);
+                    cost = self.charge_walk();
+                }
+            }
+            return (SdVerdict::Deliver(orig), cost);
         }
         let overlay_on = !self.sub_injectors[sub].is_disabled();
-        if (self.injector.is_disabled() && !overlay_on) || !self.health[sub].is_serving() {
-            return SdVerdict::Deliver(orig);
+        if (!armed && self.injector.is_disabled() && !overlay_on)
+            || !self.health[sub].is_serving()
+        {
+            return (SdVerdict::Deliver(orig), 0);
         }
         let addr = c.request.addr;
-        let payload = self.versions.get(&addr).copied().unwrap_or(0).to_le_bytes();
+        let current = self.versions.get(&addr).copied().unwrap_or(0);
+        let payload = Self::payload_bytes(addr, current);
         // First sight of an unwritten bucket: adopt its tag, then hold
         // every later read to it.
         self.integrity.verify_or_adopt(addr, &payload);
+        let mut cost = 0;
+        let leaf = self.leaf_for(addr, &payload);
+        if leaf.is_some() {
+            cost = self.charge_walk();
+        }
         let mut wire = payload.to_vec();
         if self.injector.roll(FaultKind::BitFlip, now) {
             self.injector.flip_bit(&mut wire);
         }
         let mut forged = self.injector.roll(FaultKind::ForgeMac, now);
+        let mut replayed = self.injector.roll(FaultKind::ReplayStale, now);
+        let mut relocated = self.injector.roll(FaultKind::RelocateBucket, now);
+        let mut rewound = self.injector.roll(FaultKind::RollbackBurst, now);
         if overlay_on {
             // Site-scoped burst targeting this sub-channel alone.
             if self.sub_injectors[sub].roll(FaultKind::BitFlip, now) {
                 self.sub_injectors[sub].flip_bit(&mut wire);
             }
             forged |= self.sub_injectors[sub].roll(FaultKind::ForgeMac, now);
+            replayed |= self.sub_injectors[sub].roll(FaultKind::ReplayStale, now);
+            relocated |= self.sub_injectors[sub].roll(FaultKind::RelocateBucket, now);
+            rewound |= self.sub_injectors[sub].roll(FaultKind::RollbackBurst, now);
         }
-        if !forged && self.integrity.verify(addr, &wire) {
+        // Adversarial splices replace the wire image wholesale (relocation
+        // wins if several fire: a spliced bucket is what arrives).
+        if relocated {
+            // A once-authentic copy of *another* bucket, chosen
+            // deterministically so same-seed runs see the same splice.
+            match self
+                .versions
+                .iter()
+                .filter(|&(&a, _)| a != addr)
+                .max_by_key(|&(&a, _)| a)
+            {
+                Some((&oa, &ov)) => wire = Self::payload_bytes(oa, ov).to_vec(),
+                // No other bucket exists yet: nothing to splice from.
+                None => relocated = false,
+            }
+        } else if replayed || rewound {
+            let stale = self.prev_versions.get(&addr).copied().unwrap_or(current);
+            if stale != current {
+                wire = Self::payload_bytes(addr, stale).to_vec();
+            } else {
+                // Replaying the current image serves nothing stale.
+                replayed = false;
+                rewound = false;
+            }
+        }
+        // CMAC alone: the tag store shares the untrusted DRAM, so a
+        // replayed/rolled-back (payload, tag) pair still verifies — only
+        // the relocation (address-bound tag) and garbling classes fail.
+        let mac_ok = if forged || relocated {
+            false
+        } else if replayed || rewound {
+            true
+        } else {
+            self.integrity.verify(addr, &wire)
+        };
+        let fresh_ok = match (leaf, self.freshness.as_ref()) {
+            (Some(l), Some(tree)) => tree.verify(l, &wire),
+            _ => true,
+        };
+        if mac_ok && fresh_ok {
             let t = self.health[sub].on_success(now);
             self.note(sub, t);
             if let Some(t) = ticket {
                 self.recovery_cycles += now.0 - t.detect.0;
             }
-            return SdVerdict::Deliver(orig);
+            return (SdVerdict::Deliver(orig), cost);
         }
 
-        // Failed verification: recover, quarantine, or give up.
+        // Failed verification: attribute the attack class, then recover,
+        // quarantine, or give up through the shared machinery.
+        if relocated {
+            self.relocation_detected += 1;
+        } else if rewound {
+            self.rollback_rejected += 1;
+        } else if replayed {
+            self.replay_detected += 1;
+        }
         self.integrity_failures += 1;
         let was_share = self.rebuild_shares.contains_key(&orig.0);
         let (detect, attempts) = ticket.map_or((now, 1), |t| (t.detect, t.attempts + 1));
@@ -548,11 +730,14 @@ impl SdIntegrity {
             if self.parity && !was_share && self.can_rebuild(None) {
                 // The quarantined sub's copy is lost; reconstruct from the
                 // survivors and keep running degraded instead of latching.
-                return SdVerdict::Rebuild {
-                    orig,
-                    addr,
-                    exclude: None,
-                };
+                return (
+                    SdVerdict::Rebuild {
+                        orig,
+                        addr,
+                        exclude: None,
+                    },
+                    cost,
+                );
             }
             self.latch(SimError::fault(
                 format!("sd sub-channel {sub}"),
@@ -561,33 +746,39 @@ impl SdIntegrity {
                     self.health[sub].consecutive_failures()
                 ),
             ));
-            return SdVerdict::Deliver(orig);
+            return (SdVerdict::Deliver(orig), cost);
         }
         if attempts > self.policy.refetch_limit {
             if self.parity && !was_share && self.can_rebuild(Some(sub)) {
                 // This copy is unrecoverable; rebuild it from the other
                 // sub-channels' shares rather than giving up.
-                return SdVerdict::Rebuild {
-                    orig,
-                    addr,
-                    exclude: Some(sub),
-                };
+                return (
+                    SdVerdict::Rebuild {
+                        orig,
+                        addr,
+                        exclude: Some(sub),
+                    },
+                    cost,
+                );
             }
             self.latch(SimError::integrity(
                 addr,
                 format!("re-fetch budget ({}) exhausted", self.policy.refetch_limit),
             ));
-            return SdVerdict::Deliver(orig);
+            return (SdVerdict::Deliver(orig), cost);
         }
         self.refetches += 1;
         let id = ids.next_id();
         self.inflight.insert(id, RefetchTicket { orig, detect, attempts });
-        SdVerdict::Refetch(MemRequest {
-            id,
-            op: MemOp::Read,
-            arrival: now,
-            ..c.request
-        })
+        (
+            SdVerdict::Refetch(MemRequest {
+                id,
+                op: MemOp::Read,
+                arrival: now,
+                ..c.request
+            }),
+            cost,
+        )
     }
 
     fn stats(&self) -> SdFaultStats {
@@ -601,6 +792,11 @@ impl SdIntegrity {
                 .collect(),
             parity_rebuilds: self.parity_rebuilds,
             scrub_repairs: self.scrub_repairs,
+            replay_detected: self.replay_detected,
+            relocation_detected: self.relocation_detected,
+            rollback_rejected: self.rollback_rejected,
+            freshness_ops: self.freshness_ops,
+            freshness_cycles: self.freshness_cycles,
             health: self.health.iter().map(|h| h.state()).collect(),
             quarantine_entries: self.health.iter().map(|h| h.quarantine_entries()).collect(),
             unhealthy_cycles: self.health.iter().map(|h| h.unhealthy_cycles(now)).collect(),
@@ -626,6 +822,10 @@ pub struct SecureChannel {
     merge_bufs: Option<Vec<SplitBatch>>,
     /// Bucket-integrity verification and recovery.
     sd_integrity: SdIntegrity,
+    /// Deliveries held while the SD walks the freshness tree: the block
+    /// becomes visible to the FSM once the modeled verification finishes
+    /// at the carried cycle. Empty whenever the tree is unarmed.
+    verify_pending: VecDeque<(MemCycle, RequestId)>,
     /// Recovery reads waiting for sub-channel capacity: (sub, request).
     pending_refetch: VecDeque<(usize, MemRequest)>,
     /// Parity-rebuild share reads waiting for sub-channel capacity.
@@ -679,6 +879,7 @@ impl SecureChannel {
                 .merge_split_reads
                 .then(|| vec![SplitBatch::new(); 8]),
             sd_integrity,
+            verify_pending: VecDeque::new(),
             pending_refetch: VecDeque::new(),
             pending_rebuild: VecDeque::new(),
             parity: cfg.parity,
@@ -800,11 +1001,12 @@ impl SecureChannel {
             .map(|h| h.state().name())
             .collect();
         format!(
-            "fsm=[{}] mc_pending={} resp_pending={} out_pending={} refetch={} rebuild={} health=[{}] subs=[{}]",
+            "fsm=[{}] mc_pending={} resp_pending={} out_pending={} verify={} refetch={} rebuild={} health=[{}] subs=[{}]",
             self.fsm.debug_state(),
             self.mc_pending.len(),
             self.resp_pending.len(),
             self.out_pending.len(),
+            self.verify_pending.len(),
             self.pending_refetch.len(),
             self.pending_rebuild.len(),
             health.join(","),
@@ -1006,6 +1208,26 @@ impl SecureChannel {
         // integrity engine: a failed MAC check re-fetches the bucket from
         // the same sub-channel instead of notifying the FSM, so recovery
         // latency shows up as ordinary access latency.
+        //
+        // 4a. Deliveries whose modeled freshness-tree walk has finished.
+        // Entries are queued with monotonically non-decreasing ready
+        // cycles (the walk cost is a constant), so draining the front is
+        // enough.
+        while let Some(&(ready, id)) = self.verify_pending.front() {
+            if ready > now {
+                break;
+            }
+            self.verify_pending.pop_front();
+            match self.sd_integrity.resolve_delivery(id) {
+                Delivered::Regular(id) => {
+                    self.fsm.on_block_complete(id);
+                }
+                Delivered::RebuildDone(orig) => {
+                    self.fsm.on_block_complete(orig);
+                }
+                Delivered::RebuildPartial => {}
+            }
+        }
         while let Some(&(si, req)) = self.pending_refetch.front() {
             match self.subs[si].enqueue(req) {
                 Ok(()) => {
@@ -1028,7 +1250,7 @@ impl SecureChannel {
             for c in self.scratch.drain(..) {
                 if c.request.class == RequestClass::Oram {
                     let fails_before = self.sd_integrity.integrity_failures;
-                    let verdict = self
+                    let (verdict, verify_cycles) = self
                         .sd_integrity
                         .on_oram_completion(si, &c, now, &mut self.local_ids);
                     if let Some(obs) = &self.obs {
@@ -1040,8 +1262,17 @@ impl SecureChannel {
                                 si as u64,
                             );
                         }
+                        if verify_cycles > 0 {
+                            obs.borrow_mut().integrity_verify(now.0, verify_cycles);
+                        }
                     }
                     match verdict {
+                        SdVerdict::Deliver(id) if verify_cycles > 0 => {
+                            // Hold the block until the modeled tree walk
+                            // finishes; 4a drains it at the ready cycle.
+                            self.verify_pending
+                                .push_back((MemCycle(now.0 + verify_cycles), id));
+                        }
                         SdVerdict::Deliver(id) => match self.sd_integrity.resolve_delivery(id) {
                             Delivered::Regular(id) => {
                                 self.fsm.on_block_complete(id);
@@ -1227,6 +1458,10 @@ impl Snapshot for SdIntegrity {
         let SdIntegrity {
             integrity,
             versions,
+            prev_versions,
+            freshness: _, // rebuilt from `leaves` + `versions` on load
+            leaves,
+            next_leaf,
             injector,
             sub_injectors,
             policy: _,
@@ -1237,6 +1472,11 @@ impl Snapshot for SdIntegrity {
             recovery_cycles,
             parity_rebuilds,
             scrub_repairs,
+            replay_detected,
+            relocation_detected,
+            rollback_rejected,
+            freshness_ops,
+            freshness_cycles,
             fault,
             inflight,
             rebuild_shares,
@@ -1263,6 +1503,26 @@ impl Snapshot for SdIntegrity {
             w.put_u64(addr);
             w.put_u64(v);
         }
+        let mut prev: Vec<(u64, u64)> = prev_versions.iter().map(|(&a, &v)| (a, v)).collect();
+        prev.sort_unstable_by_key(|&(a, _)| a);
+        w.put_usize(prev.len());
+        for (addr, v) in prev {
+            w.put_u64(addr);
+            w.put_u64(v);
+        }
+        let mut lvs: Vec<(u64, u64)> = leaves.iter().map(|(&a, &l)| (a, l)).collect();
+        lvs.sort_unstable_by_key(|&(a, _)| a);
+        w.put_usize(lvs.len());
+        for (addr, l) in lvs {
+            w.put_u64(addr);
+            w.put_u64(l);
+        }
+        w.put_u64(*next_leaf);
+        w.put_u64(*replay_detected);
+        w.put_u64(*relocation_detected);
+        w.put_u64(*rollback_rejected);
+        w.put_u64(*freshness_ops);
+        w.put_u64(*freshness_cycles);
         injector.save_state(w);
         w.put_usize(sub_injectors.len());
         for inj in sub_injectors {
@@ -1338,6 +1598,41 @@ impl Snapshot for SdIntegrity {
             let addr = r.get_u64()?;
             let v = r.get_u64()?;
             self.versions.insert(addr, v);
+        }
+        self.prev_versions.clear();
+        for _ in 0..r.get_usize()? {
+            let addr = r.get_u64()?;
+            let v = r.get_u64()?;
+            self.prev_versions.insert(addr, v);
+        }
+        self.leaves.clear();
+        for _ in 0..r.get_usize()? {
+            let addr = r.get_u64()?;
+            let leaf = r.get_u64()?;
+            self.leaves.insert(addr, leaf);
+        }
+        self.next_leaf = r.get_u64()?;
+        self.replay_detected = r.get_u64()?;
+        self.relocation_detected = r.get_u64()?;
+        self.rollback_rejected = r.get_u64()?;
+        self.freshness_ops = r.get_u64()?;
+        self.freshness_cycles = r.get_u64()?;
+        if !self.leaves.is_empty() && self.freshness.is_none() {
+            return Err(SnapshotError::new(
+                "checkpoint carries freshness leaves but the config arms no tree",
+            ));
+        }
+        // Rebuild the tree from its authoritative inputs: every leaf holds
+        // the hash of its bucket's *current* image (each write re-hashes),
+        // so replaying one update per mapping restores the exact state.
+        if let Some(tree) = self.freshness.as_mut() {
+            for (&addr, &leaf) in self.leaves.iter() {
+                if leaf >= tree.num_leaves() {
+                    return Err(SnapshotError::new("freshness leaf out of range"));
+                }
+                let version = self.versions.get(&addr).copied().unwrap_or(0);
+                tree.update(leaf, &Self::payload_bytes(addr, version));
+            }
         }
         self.injector.load_state(r)?;
         if r.get_usize()? != self.sub_injectors.len() {
@@ -1419,6 +1714,7 @@ impl Snapshot for SecureChannel {
             scratch: _, // drained within each tick
             merge_bufs,
             sd_integrity,
+            verify_pending,
             pending_refetch,
             pending_rebuild,
             parity: _,      // config
@@ -1457,6 +1753,11 @@ impl Snapshot for SecureChannel {
             }
         }
         sd_integrity.save_state(w);
+        w.put_usize(verify_pending.len());
+        for (ready, id) in verify_pending {
+            w.put_u64(ready.0);
+            w.put_u64(id.0);
+        }
         w.put_usize(pending_refetch.len());
         for (sub, req) in pending_refetch {
             w.put_usize(*sub);
@@ -1507,6 +1808,12 @@ impl Snapshot for SecureChannel {
             }
         }
         self.sd_integrity.load_state(r)?;
+        self.verify_pending.clear();
+        for _ in 0..r.get_usize()? {
+            let ready = MemCycle(r.get_u64()?);
+            let id = RequestId(r.get_u64()?);
+            self.verify_pending.push_back((ready, id));
+        }
         self.pending_refetch.clear();
         for _ in 0..r.get_usize()? {
             let sub = r.get_usize()?;
@@ -2113,6 +2420,146 @@ mod tests {
         assert_eq!(b.sd_fault_stats(), full.sd_fault_stats());
         assert_eq!(b.link_bytes(), full.link_bytes());
         // And the resumed state re-serializes identically to the original.
+        let mut w_full = SnapshotWriter::new();
+        full.save_state(&mut w_full);
+        let mut w_b = SnapshotWriter::new();
+        b.save_state(&mut w_b);
+        assert_eq!(w_full.into_bytes(), w_b.into_bytes());
+    }
+
+    #[test]
+    fn replayed_buckets_are_detected_and_recovered() {
+        use doram_sim::fault::FaultRates;
+        let run_one = || {
+            let mut ch = SecureChannel::new(SecureChannelConfig {
+                // 3% of SD bucket reads are answered with a stale,
+                // correctly-tagged copy of an earlier write.
+                fault_plan: FaultPlan::with_rates(
+                    31,
+                    FaultRates::only(FaultKind::ReplayStale, 30_000),
+                ),
+                ..cfg(0)
+            });
+            let out = run_closed_loop(&mut ch, 8, 120_000);
+            assert_eq!(out.resp.len(), 8, "all accesses complete despite replays");
+            ch
+        };
+        let ch = run_one();
+        let stats = ch.sd_fault_stats();
+        assert!(stats.replay_detected > 0, "freshness tree caught replays");
+        assert_eq!(
+            stats.replay_detected, stats.integrity_failures,
+            "every failure this plan can produce is a replay"
+        );
+        assert!(stats.refetches > 0, "recovery re-fetched the stale buckets");
+        assert_eq!(stats.relocation_detected, 0);
+        assert_eq!(stats.rollback_rejected, 0);
+        assert!(stats.freshness_ops > 0, "armed tree walks every bucket op");
+        assert_eq!(stats.freshness_cycles, stats.freshness_ops * FRESHNESS_COST);
+        assert!(ch.fault().is_none(), "sub-threshold rate never latches");
+        assert!(ch.fault_counts().replays > 0);
+        // Same seed ⇒ identical attack schedule and accounting.
+        assert_eq!(run_one().sd_fault_stats(), stats);
+    }
+
+    #[test]
+    fn relocated_buckets_are_detected_by_the_address_bound_tag() {
+        use doram_sim::fault::FaultRates;
+        let mut ch = SecureChannel::new(SecureChannelConfig {
+            fault_plan: FaultPlan::with_rates(
+                7,
+                FaultRates::only(FaultKind::RelocateBucket, 30_000),
+            ),
+            ..cfg(0)
+        });
+        let out = run_closed_loop(&mut ch, 8, 120_000);
+        assert_eq!(out.resp.len(), 8);
+        let stats = ch.sd_fault_stats();
+        assert!(stats.relocation_detected > 0, "spliced buckets were caught");
+        assert_eq!(stats.replay_detected, 0);
+        assert!(ch.fault().is_none());
+        assert!(ch.fault_counts().relocations > 0);
+    }
+
+    #[test]
+    fn rollback_burst_trips_quarantine_and_parity_covers() {
+        use doram_sim::fault::{FaultRates, FaultWindow};
+        // A sustained 100% rollback burst against sub 1's site.
+        let plan = FaultPlan {
+            seed: 77,
+            ..FaultPlan::none()
+        }
+        .site_window(
+            SD_SUB_SITE_BASE + 1,
+            FaultWindow {
+                start: MemCycle(0),
+                end: MemCycle(1_000_000),
+                rates: FaultRates::only(FaultKind::RollbackBurst, 1_000_000),
+            },
+        );
+        let mut ch = SecureChannel::new(SecureChannelConfig {
+            parity: true,
+            fault_plan: plan,
+            ..cfg(0)
+        });
+        let out = run_closed_loop(&mut ch, 8, 300_000);
+        assert_eq!(out.resp.len(), 8, "run survives the rollback burst");
+        let stats = ch.sd_fault_stats();
+        assert!(stats.rollback_rejected > 0, "stale serves were rejected");
+        assert_eq!(stats.quarantined_subs, vec![1], "attacked sub quarantined");
+        assert!(stats.parity_rebuilds > 0, "survivors covered its buckets");
+        assert!(ch.fault().is_none(), "parity degrades instead of latching");
+    }
+
+    #[test]
+    fn adversary_run_snapshot_round_trips() {
+        use doram_sim::fault::FaultRates;
+        use doram_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let mk = || {
+            SecureChannel::new(SecureChannelConfig {
+                fault_plan: FaultPlan::with_rates(
+                    31,
+                    FaultRates::only(FaultKind::ReplayStale, 30_000),
+                ),
+                ..cfg(0)
+            })
+        };
+        let mut full = mk();
+        let full_out = run_closed_loop(&mut full, 8, 120_000);
+
+        let mut a = mk();
+        let mut out = Out {
+            ns: vec![],
+            resp: vec![],
+            sr: vec![],
+            sw: vec![],
+        };
+        let mut sent = 1usize;
+        a.send_secure(OramJob::Dummy);
+        let split = 30_000u64;
+        for c in 0..split {
+            a.tick(MemCycle(c), &mut out.ns, &mut out.resp, &mut out.sr, &mut out.sw);
+            if out.resp.len() == sent && sent < 8 {
+                a.send_secure(OramJob::Dummy);
+                sent += 1;
+            }
+        }
+        let mut w = SnapshotWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = mk();
+        b.load_state(&mut SnapshotReader::new(&bytes)).unwrap();
+        for c in split..120_000 {
+            b.tick(MemCycle(c), &mut out.ns, &mut out.resp, &mut out.sr, &mut out.sw);
+            if out.resp.len() == sent && sent < 8 {
+                b.send_secure(OramJob::Dummy);
+                sent += 1;
+            }
+        }
+        assert_eq!(out.resp, full_out.resp, "resumed run matches uninterrupted");
+        assert_eq!(b.sd_fault_stats(), full.sd_fault_stats());
+        // The rebuilt freshness tree re-serializes bit-identically, so a
+        // second save proves the tree state survived the round trip.
         let mut w_full = SnapshotWriter::new();
         full.save_state(&mut w_full);
         let mut w_b = SnapshotWriter::new();

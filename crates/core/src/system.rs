@@ -21,9 +21,10 @@ use doram_obs::{CoreStall, SharedRecorder, StallDump};
 use doram_oram::plan::PlanConfig;
 use doram_oram::split::SplitConfig;
 use doram_oram::tree::TreeGeometry;
+use doram_crypto::Cmac;
 use doram_sim::snapshot::{
-    fnv1a64, read_checkpoint, write_checkpoint, Snapshot, SnapshotError, SnapshotReader,
-    SnapshotWriter,
+    checkpoint_auth_message, fnv1a64, read_checkpoint, write_atomic, write_checkpoint,
+    CheckpointData, Snapshot, SnapshotError, SnapshotErrorKind, SnapshotReader, SnapshotWriter,
 };
 use doram_sim::stats::{Histogram, RunningMean};
 use doram_sim::{AppId, ConfigError, MemCycle, RequestId, RequestIdGen, CPU_CYCLES_PER_MEM_CYCLE};
@@ -140,6 +141,11 @@ pub struct RunOptions {
     /// Install SIGINT/SIGTERM handlers that trigger graceful shutdown
     /// (final checkpoint + [`SimError::Interrupted`]).
     pub handle_signals: bool,
+    /// Key authenticating checkpoints: every file written carries a CMAC
+    /// over its header and payload under this key, and
+    /// [`Simulation::resume_with_key`] refuses files whose tag does not
+    /// verify. `None` writes unkeyed (legacy, bit-compatible) files.
+    pub ckpt_key: Option<u64>,
 }
 
 impl RunOptions {
@@ -174,6 +180,53 @@ impl RunOptions {
         }
         Ok(())
     }
+}
+
+/// Name of the run-epoch marker file kept next to the checkpoints. It
+/// records the highest epoch any run has checkpointed under in that
+/// directory, so a resume can reject a checkpoint from an *earlier*
+/// epoch — an attacker substituting an old-but-authentic file.
+const EPOCH_MARKER: &str = "epoch.mark";
+
+/// Salt mixed into the 64-bit checkpoint key when expanding it to the
+/// 128-bit CMAC key (the same seed-expansion idiom as the SD tag key).
+const CKPT_KEY_SALT: u64 = 0xC4EC_4B01_C4EC_4B01;
+
+fn ckpt_mac(key: u64) -> Cmac {
+    let mut k = [0u8; 16];
+    k[..8].copy_from_slice(&key.to_le_bytes());
+    k[8..].copy_from_slice(&(key ^ CKPT_KEY_SALT).to_le_bytes());
+    Cmac::new(k)
+}
+
+/// Reads the run-epoch marker in `dir` (0 when absent — a directory that
+/// never checkpointed, or a checkpoint moved elsewhere deliberately).
+fn read_epoch_marker(dir: &Path) -> Result<u64, SimError> {
+    let path = dir.join(EPOCH_MARKER);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s.trim().parse::<u64>().map_err(|_| SimError::Checkpoint {
+            detail: format!("{}: malformed epoch marker", path.display()),
+        }),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(SimError::Checkpoint {
+            detail: format!("reading {}: {e}", path.display()),
+        }),
+    }
+}
+
+/// Allocates this run's epoch — one past the largest ever recorded in
+/// `dir` — and durably bumps the marker before any checkpoint carries it.
+fn allocate_epoch(dir: &Path) -> Result<u64, SimError> {
+    let epoch = read_epoch_marker(dir)?
+        .checked_add(1)
+        .ok_or_else(|| SimError::Checkpoint {
+            detail: "run-epoch counter overflow".into(),
+        })?;
+    let path = dir.join(EPOCH_MARKER);
+    write_atomic(&path, format!("{epoch}\n").as_bytes()).map_err(|e| SimError::Checkpoint {
+        detail: format!("writing {}: {e}", path.display()),
+    })?;
+    Ok(epoch)
 }
 
 /// Set by the SIGINT/SIGTERM handlers; polled once per memory cycle.
@@ -970,12 +1023,65 @@ impl Simulation {
     /// if the file is unreadable, corrupt, from another format version, or
     /// was taken under a different configuration.
     pub fn resume(cfg: SystemConfig, path: &Path) -> Result<Simulation, SimError> {
+        Simulation::resume_with_key(cfg, path, None)
+    }
+
+    /// Like [`resume`](Simulation::resume), additionally enforcing the
+    /// active-adversary checks: with a key, the checkpoint's CMAC must
+    /// verify (`bad_mac` otherwise — tampered file or wrong key), and in
+    /// either mode the checkpoint's run epoch must not pre-date the
+    /// directory's epoch marker (`rolled_back` — an older-but-authentic
+    /// file substituted for the latest one).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`resume`](Simulation::resume) returns, plus
+    /// [`SimError::Checkpoint`] for authentication and rollback failures.
+    pub fn resume_with_key(
+        cfg: SystemConfig,
+        path: &Path,
+        key: Option<u64>,
+    ) -> Result<Simulation, SimError> {
         let mut sim = Simulation::new(cfg).map_err(|e| SimError::Config {
             detail: e.to_string(),
         })?;
         let data = read_checkpoint(path).map_err(|e| SimError::Checkpoint {
-            detail: format!("{}: {e}", path.display()),
+            detail: format!("[{}] {}: {}", e.kind().label(), path.display(), e.message()),
         })?;
+        let typed = |kind: SnapshotErrorKind, msg: String| SimError::Checkpoint {
+            detail: format!("[{}] {}: {msg}", kind.label(), path.display()),
+        };
+        match (key, data.is_authenticated()) {
+            (Some(k), _) => {
+                let want = ckpt_mac(k).full_tag(&checkpoint_auth_message(&data));
+                if data.auth != want {
+                    return Err(typed(
+                        SnapshotErrorKind::BadMac,
+                        "checkpoint authentication failed (tampered file or wrong key)".into(),
+                    ));
+                }
+            }
+            (None, true) => {
+                return Err(typed(
+                    SnapshotErrorKind::BadMac,
+                    "checkpoint is authenticated; resuming requires its key".into(),
+                ));
+            }
+            (None, false) => {}
+        }
+        if let Some(dir) = path.parent() {
+            let marker = read_epoch_marker(dir)?;
+            if data.epoch < marker {
+                return Err(typed(
+                    SnapshotErrorKind::RolledBack,
+                    format!(
+                        "checkpoint epoch {} pre-dates the directory's latest run \
+                         epoch {marker} (rollback rejected)",
+                        data.epoch
+                    ),
+                ));
+            }
+        }
         let want = config_hash(&sim.cfg);
         if data.config_hash != want {
             return Err(SimError::Checkpoint {
@@ -1077,11 +1183,23 @@ impl Simulation {
         r.finish()
     }
 
-    /// Writes a `ckpt-<cycle>.dorc` file into `dir` crash-consistently.
-    fn write_checkpoint_file(&self, dir: &Path, hash: u64) -> Result<PathBuf, SimError> {
+    /// Writes a `ckpt-<cycle>.dorc` file into `dir` crash-consistently,
+    /// stamped with this run's epoch and — when keyed — an authentication
+    /// tag over the whole header and payload.
+    fn write_checkpoint_file(
+        &self,
+        dir: &Path,
+        hash: u64,
+        epoch: u64,
+        key: Option<u64>,
+    ) -> Result<PathBuf, SimError> {
         let path = dir.join(format!("ckpt-{:012}.dorc", self.cycle));
         let payload = self.snapshot_payload();
-        write_checkpoint(&path, hash, self.cycle, &payload).map_err(|e| SimError::Checkpoint {
+        let mut data = CheckpointData::unkeyed(hash, epoch, self.cycle, payload);
+        if let Some(k) = key {
+            data.auth = ckpt_mac(k).full_tag(&checkpoint_auth_message(&data));
+        }
+        write_checkpoint(&path, &data).map_err(|e| SimError::Checkpoint {
             detail: format!("writing {}: {e}", path.display()),
         })?;
         Ok(path)
@@ -1276,6 +1394,13 @@ impl Simulation {
         let cap = self.cfg.max_mem_cycles;
         let debug = std::env::var_os("DORAM_DEBUG").is_some();
         let ckpt_hash = config_hash(&self.cfg);
+        // Claim this run's epoch up front: the marker is durably bumped
+        // before any checkpoint carries it, so even a crash mid-run leaves
+        // older-epoch files detectable as rolled back.
+        let ckpt_epoch = match &opts.checkpoint_dir {
+            Some(dir) => allocate_epoch(dir)?,
+            None => 0,
+        };
         let start_cycle = self.cycle;
         if opts.handle_signals {
             install_signal_handlers();
@@ -1290,7 +1415,9 @@ impl Simulation {
             if opts.handle_signals && SHUTDOWN.load(Ordering::SeqCst) {
                 SHUTDOWN.store(false, Ordering::SeqCst);
                 let checkpoint = match &opts.checkpoint_dir {
-                    Some(dir) => Some(self.write_checkpoint_file(dir, ckpt_hash)?),
+                    Some(dir) => {
+                        Some(self.write_checkpoint_file(dir, ckpt_hash, ckpt_epoch, opts.ckpt_key)?)
+                    }
                     None => None,
                 };
                 return Err(SimError::Interrupted { at: m, checkpoint });
@@ -1300,7 +1427,7 @@ impl Simulation {
                 // trivial cycle-0 file and the cycle a resume started at
                 // (its checkpoint already exists).
                 if m > 0 && m != start_cycle && m.is_multiple_of(every) {
-                    self.write_checkpoint_file(dir, ckpt_hash)?;
+                    self.write_checkpoint_file(dir, ckpt_hash, ckpt_epoch, opts.ckpt_key)?;
                 }
             }
             if let Some(budget) = opts.watchdog_budget {
@@ -1568,6 +1695,13 @@ fn fault_report(secure: &SecureChannel, normals: &ChannelFabric) -> crate::metri
         quarantined_subs: sd.quarantined_subs,
         parity_rebuilds: sd.parity_rebuilds,
         scrub_repairs: sd.scrub_repairs,
+        // Link stale-drops are replays caught one layer down (sequence
+        // check) before they could reach the SD; fold them in.
+        replay_detected: sd.replay_detected + link.stale_drops,
+        relocation_detected: sd.relocation_detected,
+        rollback_rejected: sd.rollback_rejected,
+        freshness_ops: sd.freshness_ops,
+        freshness_cycles: sd.freshness_cycles,
         sub_health: sd.health,
         quarantine_entries: sd.quarantine_entries,
         unhealthy_cycles: sd.unhealthy_cycles,

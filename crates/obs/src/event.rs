@@ -176,10 +176,13 @@ pub enum EventKind {
     /// The background scrubber repaired one bucket from parity;
     /// `value` = sub-channel index.
     ScrubRepair = 17,
+    /// The SD freshness tree verified a bucket on the read path;
+    /// `value` = modeled verification cycles charged to the access.
+    IntegrityVerify = 18,
 }
 
 /// Every event kind, in tag order.
-pub const ALL_KINDS: [EventKind; 18] = [
+pub const ALL_KINDS: [EventKind; 19] = [
     EventKind::AccessBegin,
     EventKind::AccessEnd,
     EventKind::DummyIssued,
@@ -198,6 +201,7 @@ pub const ALL_KINDS: [EventKind; 18] = [
     EventKind::Recovery,
     EventKind::HealthTransition,
     EventKind::ScrubRepair,
+    EventKind::IntegrityVerify,
 ];
 
 impl EventKind {
@@ -222,6 +226,7 @@ impl EventKind {
             EventKind::Recovery => "recovery",
             EventKind::HealthTransition => "health_transition",
             EventKind::ScrubRepair => "scrub_repair",
+            EventKind::IntegrityVerify => "integrity_verify",
         }
     }
 

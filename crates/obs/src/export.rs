@@ -47,6 +47,9 @@ pub struct AccessSpan {
     pub dram_last: Option<u64>,
     /// Writeback drained at the SD.
     pub writeback_done: Option<u64>,
+    /// Modeled freshness-tree verification cycles charged to this access
+    /// (sum of `IntegrityVerify` event values).
+    pub integrity: u64,
 }
 
 impl AccessSpan {
@@ -78,10 +81,16 @@ impl AccessSpan {
         }
     }
 
-    /// SD cycles not covered by the DRAM window: stash service and
-    /// controller bookkeeping.
+    /// Cycles spent walking the SD freshness tree, clamped into the SD
+    /// remainder so the breakdown still telescopes exactly.
+    pub fn integrity_cycles(&self) -> u64 {
+        self.integrity.min(self.sd_cycles() - self.dram_cycles())
+    }
+
+    /// SD cycles not covered by the DRAM window or integrity
+    /// verification: stash service and controller bookkeeping.
     pub fn stash_cycles(&self) -> u64 {
-        self.sd_cycles() - self.dram_cycles()
+        self.sd_cycles() - self.dram_cycles() - self.integrity_cycles()
     }
 
     /// End-to-end cycles (engine round trip).
@@ -115,6 +124,7 @@ pub fn spans_from_events(events: &[Event]) -> Vec<AccessSpan> {
                 }
             }
             EventKind::DramDone => span(&mut map, e.access).dram_last = Some(e.cycle),
+            EventKind::IntegrityVerify => span(&mut map, e.access).integrity += e.value,
             _ => {}
         }
     }
@@ -145,6 +155,8 @@ pub struct TraceSummary {
     pub mean_sd: f64,
     /// Mean cycles of the DRAM busy window.
     pub mean_dram: f64,
+    /// Mean cycles of freshness-tree verification inside the SD.
+    pub mean_integrity: f64,
     /// Mean SD remainder: stash service + controller bookkeeping.
     pub mean_stash: f64,
 }
@@ -170,6 +182,7 @@ impl TraceSummary {
             mean_link: mean(&AccessSpan::link_cycles),
             mean_sd: mean(&AccessSpan::sd_cycles),
             mean_dram: mean(&AccessSpan::dram_cycles),
+            mean_integrity: mean(&AccessSpan::integrity_cycles),
             mean_stash: mean(&AccessSpan::stash_cycles),
         }
     }
@@ -177,7 +190,7 @@ impl TraceSummary {
     /// Sum of the breakdown components (equals `mean_total` up to
     /// floating-point rounding; the acceptance bound is 1%).
     pub fn breakdown_sum(&self) -> f64 {
-        self.mean_link + self.mean_dram + self.mean_stash
+        self.mean_link + self.mean_dram + self.mean_integrity + self.mean_stash
     }
 }
 
@@ -202,15 +215,21 @@ impl fmt::Display for TraceSummary {
         writeln!(f, "  link  {:>10.1}  ({:>5.1}%)", self.mean_link, pct(self.mean_link))?;
         writeln!(
             f,
-            "  sd    {:>10.1}  ({:>5.1}%)  = dram + stash/ctrl",
+            "  sd    {:>10.1}  ({:>5.1}%)  = dram + integrity + stash/ctrl",
             self.mean_sd,
             pct(self.mean_sd)
         )?;
         writeln!(f, "  dram  {:>10.1}  ({:>5.1}%)", self.mean_dram, pct(self.mean_dram))?;
+        writeln!(
+            f,
+            "  intgr {:>10.1}  ({:>5.1}%)",
+            self.mean_integrity,
+            pct(self.mean_integrity)
+        )?;
         writeln!(f, "  stash {:>10.1}  ({:>5.1}%)", self.mean_stash, pct(self.mean_stash))?;
         write!(
             f,
-            "  sum   {:>10.1}  (link + dram + stash; {:+.3}% vs mean latency)",
+            "  sum   {:>10.1}  (link + dram + integrity + stash; {:+.3}% vs mean latency)",
             self.breakdown_sum(),
             if self.mean_total > 0.0 {
                 100.0 * (self.breakdown_sum() - self.mean_total) / self.mean_total
@@ -286,6 +305,10 @@ pub fn chrome_trace_json(events: &[Event], series: &[TimeSeries], dropped: u64) 
         if s.dram_cycles() > 0 {
             let df = s.dram_first.unwrap();
             x_event(&mut buf, "dram", TID_DRAM, df, s.dram_cycles(), s.id);
+            parts.push(std::mem::take(&mut buf));
+        }
+        if s.integrity_cycles() > 0 {
+            x_event(&mut buf, "sd.integrity", TID_SD, t1, s.integrity_cycles(), s.id);
             parts.push(std::mem::take(&mut buf));
         }
         if let Some(wb) = s.writeback_done {
@@ -548,6 +571,7 @@ pub fn summarize_file(path: &Path) -> Result<TraceSummary, String> {
             continue;
         };
         let dram = parts.get("dram").map(|&(_, d)| d).unwrap_or(0);
+        let integrity = parts.get("sd.integrity").map(|&(_, d)| d).unwrap_or(0);
         let span = AccessSpan {
             id: 0,
             t0: Some(t0),
@@ -557,6 +581,7 @@ pub fn summarize_file(path: &Path) -> Result<TraceSummary, String> {
             dram_first: Some(sd_ts),
             dram_last: Some(sd_ts + dram),
             writeback_done: None,
+            integrity,
         };
         rebuilt.push(span);
     }
@@ -633,6 +658,37 @@ mod tests {
         assert_eq!(sum.mean_total, 70.0);
         assert_eq!(sum.mean_link, 30.0);
         assert!((sum.breakdown_sum() - sum.mean_total).abs() <= 0.01 * sum.mean_total);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn integrity_component_telescopes_and_round_trips() {
+        let mut rec = Recorder::new(1024, crate::event::FILTER_ALL, 100);
+        rec.engine_send(100, true);
+        rec.sd_arrival(115, true);
+        rec.sd_access_started(116);
+        rec.dram_issue(117, 0);
+        rec.dram_done(150, 0);
+        rec.integrity_verify(152, 4);
+        rec.sd_read_done(155, true);
+        rec.engine_response(170, true);
+        let spans = spans_from_events(&rec.events());
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.integrity_cycles(), 4);
+        assert_eq!(
+            s.link_cycles() + s.dram_cycles() + s.integrity_cycles() + s.stash_cycles(),
+            s.total_cycles()
+        );
+
+        let dir = std::env::temp_dir().join(format!("doram-obs-int-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        write_chrome_trace(&path, &rec.events(), &[], 0).unwrap();
+        let sum = summarize_file(&path).unwrap();
+        assert_eq!(sum.accesses, 1);
+        assert_eq!(sum.mean_integrity, 4.0);
+        assert!((sum.breakdown_sum() - sum.mean_total).abs() < 1e-9);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -182,6 +182,18 @@ impl Recorder {
         self.push(Subsystem::Dram, EventKind::DramDone, cycle, self.seq.sd_current, sub_idx);
     }
 
+    /// The SD freshness tree verified a bucket for the current access;
+    /// `cycles` is the modeled verification latency charged.
+    pub fn integrity_verify(&mut self, cycle: u64, cycles: u64) {
+        self.push(
+            Subsystem::Sd,
+            EventKind::IntegrityVerify,
+            cycle,
+            self.seq.sd_current,
+            cycles,
+        );
+    }
+
     /// A frame entered a link serializer (`bytes` on the wire).
     pub fn link_tx(&mut self, cycle: u64, bytes: u64) {
         self.push(Subsystem::Link, EventKind::LinkTx, cycle, NO_ACCESS, bytes);

@@ -5,8 +5,10 @@
 //! [`crate::protocol::PathOram`], but its tree lives in an untrusted
 //! serialized bucket store: every write-back records a CMAC tag
 //! ([`doram_crypto::integrity::BucketIntegrity`]), every path read fetches
-//! bucket bytes across a faulty "bus" (a [`FaultInjector`] may flip bits or
-//! forge MACs in transit), and a failed verification triggers a bounded
+//! bucket bytes across a faulty "bus" (a [`FaultInjector`] may flip bits,
+//! forge MACs, or mount active attacks — replaying a bucket's superseded
+//! image, serving another bucket's bytes, or rolling a region back in a
+//! burst), and a failed verification triggers a bounded
 //! **re-fetch-and-replay** recovery. Too many consecutive failures
 //! quarantine the store — the fail-stop escalation of the D-ORAM threat
 //! model, where persistent tampering must halt the computation rather than
@@ -85,6 +87,12 @@ pub struct VerifiedOram {
     stash: Stash<u64>,
     /// Untrusted DRAM: bucket heap index → serialized resident blocks.
     mem: HashMap<u64, Vec<u8>>,
+    /// Superseded bucket images: what each bucket held before its last
+    /// rewrite. This is the adversary's replay/rollback ammunition — old
+    /// data that *was* authentic once, served in place of the current
+    /// image. The current tag no longer covers it, so verification (plus
+    /// re-fetch) must hide every such serve.
+    prev_mem: HashMap<u64, Vec<u8>>,
     /// Trusted per-bucket authentication tags.
     integrity: BucketIntegrity,
     /// The adversary on the memory bus.
@@ -142,6 +150,7 @@ impl VerifiedOram {
             posmap: PositionMap::new(geometry.num_leaves(), seed),
             stash: Stash::new(),
             mem: HashMap::new(),
+            prev_mem: HashMap::new(),
             integrity: BucketIntegrity::new(seed_key(seed)),
             // Site 0xSD: distinct from link sites, which use small indices.
             injector: plan.injector(0x5D00),
@@ -226,6 +235,24 @@ impl VerifiedOram {
                 self.injector.flip_bit(&mut wire);
             }
             let forged = self.injector.roll(FaultKind::ForgeMac, now);
+            // Active attacks: serve stale or relocated — but once-authentic
+            // — bytes instead of the current image. Zero rates consume no
+            // randomness, keeping legacy fault schedules bit-identical.
+            if self.injector.roll(FaultKind::ReplayStale, now)
+                | self.injector.roll(FaultKind::RollbackBurst, now)
+            {
+                if let Some(stale) = self.prev_mem.get(&bucket) {
+                    wire = stale.clone();
+                }
+            }
+            if self.injector.roll(FaultKind::RelocateBucket, now) {
+                // Deterministic victim choice (min key, not HashMap order):
+                // the same seed must replay the same attack schedule.
+                let donor = self.mem.keys().filter(|&&b| b != bucket).min().copied();
+                if let Some(d) = donor {
+                    wire = self.mem[&d].clone();
+                }
+            }
             if !forged && self.integrity.verify(bucket, &wire) {
                 self.health.on_success(now);
                 if attempt == 0 {
@@ -274,7 +301,10 @@ impl VerifiedOram {
         for bucket in self.geometry.path(leaf).collect::<Vec<_>>() {
             let resident = self.fetch_bucket(bucket)?;
             if !resident.is_empty() {
-                self.mem.remove(&bucket);
+                if let Some(old) = self.mem.remove(&bucket) {
+                    // The image this bucket is about to shed: replay fodder.
+                    self.prev_mem.insert(bucket, old);
+                }
                 for (b, l, v) in resident {
                     self.stash.insert(b, l, v);
                 }
@@ -453,6 +483,32 @@ mod tests {
         assert_eq!(a.recovery_stats(), b.recovery_stats());
         assert_eq!(a.fault_counts(), b.fault_counts());
         assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn recovers_bit_identically_under_active_attacks() {
+        // Sub-threshold replay + relocation + rollback: stale-but-
+        // once-authentic images on the wire. Every serve must be caught
+        // (current tags no longer cover them) and hidden by re-fetch —
+        // the oracle contents never go stale.
+        let plan = FaultPlan::with_rates(
+            77,
+            FaultRates {
+                replay_ppm: 30_000,
+                relocate_ppm: 20_000,
+                rollback_ppm: 20_000,
+                ..FaultRates::none()
+            },
+        );
+        let (clean, faulty) = run_pair(plan);
+        assert_eq!(clean.snapshot(), faulty.snapshot(), "stale read leaked");
+        let counts = faulty.fault_counts();
+        assert!(counts.replays > 0, "replays must fire: {counts:?}");
+        assert!(counts.relocations > 0, "relocations must fire: {counts:?}");
+        assert!(counts.rollback_bursts > 0, "rollbacks must fire: {counts:?}");
+        assert!(faulty.recovery_stats().integrity_failures > 0);
+        assert!(!faulty.is_quarantined());
+        faulty.check_invariants().unwrap();
     }
 
     #[test]

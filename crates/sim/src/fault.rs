@@ -41,15 +41,29 @@ pub enum FaultKind {
     /// An adversary substitutes a forged MAC (always detected; CMAC forgery
     /// without the key does not succeed in this model).
     ForgeMac,
+    /// An active adversary re-supplies an *old*, correctly-MAC'd copy of the
+    /// same bucket (or frame): per-item authentication passes, only a
+    /// freshness check (Merkle root / sequence number) can reject it.
+    ReplayStale,
+    /// An active adversary splices a valid bucket to a *different* address:
+    /// the payload and tag are authentic, just not for where they landed.
+    RelocateBucket,
+    /// A coordinated rollback burst: the adversary rewinds a region to an
+    /// earlier consistent state (the checkpoint-rollback analogue on the
+    /// memory bus). Scheduled in targeted bursts via [`AdversaryPlan`].
+    RollbackBurst,
 }
 
 /// All fault kinds, in a fixed reporting order.
-pub const FAULT_KINDS: [FaultKind; 5] = [
+pub const FAULT_KINDS: [FaultKind; 8] = [
     FaultKind::CorruptFrame,
     FaultKind::DropFrame,
     FaultKind::DelayFrame,
     FaultKind::BitFlip,
     FaultKind::ForgeMac,
+    FaultKind::ReplayStale,
+    FaultKind::RelocateBucket,
+    FaultKind::RollbackBurst,
 ];
 
 impl FaultKind {
@@ -61,7 +75,19 @@ impl FaultKind {
             FaultKind::DelayFrame => "delay_frame",
             FaultKind::BitFlip => "bit_flip",
             FaultKind::ForgeMac => "forge_mac",
+            FaultKind::ReplayStale => "replay_stale",
+            FaultKind::RelocateBucket => "relocate_bucket",
+            FaultKind::RollbackBurst => "rollback_burst",
         }
+    }
+
+    /// Whether this kind models an *active* adversary (stale/misplaced but
+    /// authentically tagged data) rather than accidental corruption.
+    pub fn is_adversarial(self) -> bool {
+        matches!(
+            self,
+            FaultKind::ReplayStale | FaultKind::RelocateBucket | FaultKind::RollbackBurst
+        )
     }
 }
 
@@ -78,6 +104,12 @@ pub struct FaultRates {
     pub bitflip_ppm: u32,
     /// MAC forgery rate (ppm per bucket read).
     pub forge_mac_ppm: u32,
+    /// Stale-bucket replay rate (ppm per bucket read).
+    pub replay_ppm: u32,
+    /// Bucket-relocation rate (ppm per bucket read).
+    pub relocate_ppm: u32,
+    /// Rollback-burst rate (ppm per bucket read).
+    pub rollback_ppm: u32,
     /// Extra memory cycles a delayed frame is held (when a delay fires).
     pub delay_cycles: u64,
 }
@@ -91,17 +123,40 @@ impl FaultRates {
             delay_ppm: 0,
             bitflip_ppm: 0,
             forge_mac_ppm: 0,
+            replay_ppm: 0,
+            relocate_ppm: 0,
+            rollback_ppm: 0,
             delay_cycles: 0,
         }
     }
 
+    /// Rates that fire only `kind`, at `ppm`.
+    pub fn only(kind: FaultKind, ppm: u32) -> FaultRates {
+        let mut rates = FaultRates::none();
+        match kind {
+            FaultKind::CorruptFrame => rates.corrupt_ppm = ppm,
+            FaultKind::DropFrame => rates.drop_ppm = ppm,
+            FaultKind::DelayFrame => rates.delay_ppm = ppm,
+            FaultKind::BitFlip => rates.bitflip_ppm = ppm,
+            FaultKind::ForgeMac => rates.forge_mac_ppm = ppm,
+            FaultKind::ReplayStale => rates.replay_ppm = ppm,
+            FaultKind::RelocateBucket => rates.relocate_ppm = ppm,
+            FaultKind::RollbackBurst => rates.rollback_ppm = ppm,
+        }
+        rates
+    }
+
     /// True when no fault kind can ever fire.
     pub fn is_zero(&self) -> bool {
-        self.corrupt_ppm == 0
-            && self.drop_ppm == 0
-            && self.delay_ppm == 0
-            && self.bitflip_ppm == 0
-            && self.forge_mac_ppm == 0
+        FAULT_KINDS.iter().all(|&k| self.rate(k) == 0)
+    }
+
+    /// True when any *adversarial* kind (replay / relocation / rollback)
+    /// can fire.
+    pub fn is_adversarial(&self) -> bool {
+        FAULT_KINDS
+            .iter()
+            .any(|&k| k.is_adversarial() && self.rate(k) > 0)
     }
 
     /// The rate for one fault kind.
@@ -112,6 +167,9 @@ impl FaultRates {
             FaultKind::DelayFrame => self.delay_ppm,
             FaultKind::BitFlip => self.bitflip_ppm,
             FaultKind::ForgeMac => self.forge_mac_ppm,
+            FaultKind::ReplayStale => self.replay_ppm,
+            FaultKind::RelocateBucket => self.relocate_ppm,
+            FaultKind::RollbackBurst => self.rollback_ppm,
         }
     }
 
@@ -236,6 +294,19 @@ impl FaultPlan {
         self.site_windows.iter().any(|s| s.site == site)
     }
 
+    /// Whether the plan can ever fire an adversarial kind (replay,
+    /// relocation, rollback) anywhere in its schedule. Consumers use this
+    /// to arm freshness checking only when an active adversary is modeled,
+    /// keeping plain fault-injection runs bit-identical.
+    pub fn has_adversary(&self) -> bool {
+        self.base.is_adversarial()
+            || self.windows.iter().any(|w| w.rates.is_adversarial())
+            || self
+                .site_windows
+                .iter()
+                .any(|s| s.window.rates.is_adversarial())
+    }
+
     /// The plan's schedule *restricted to* `site`'s overlay windows: base
     /// rates of zero, the site's scoped windows promoted to plain windows.
     /// An injector built from this derived plan fires only during the
@@ -298,6 +369,12 @@ pub struct FaultCounts {
     pub bit_flips: u64,
     /// Forged MACs substituted.
     pub forged_macs: u64,
+    /// Stale bucket/frame replays supplied.
+    pub replays: u64,
+    /// Valid buckets spliced to another address.
+    pub relocations: u64,
+    /// Rollback-burst stale serves supplied.
+    pub rollback_bursts: u64,
 }
 
 impl FaultCounts {
@@ -308,6 +385,9 @@ impl FaultCounts {
             + self.delay_frames
             + self.bit_flips
             + self.forged_macs
+            + self.replays
+            + self.relocations
+            + self.rollback_bursts
     }
 
     /// Adds another counter set into this one (for per-site aggregation).
@@ -317,6 +397,9 @@ impl FaultCounts {
         self.delay_frames += other.delay_frames;
         self.bit_flips += other.bit_flips;
         self.forged_macs += other.forged_macs;
+        self.replays += other.replays;
+        self.relocations += other.relocations;
+        self.rollback_bursts += other.rollback_bursts;
     }
 
     fn bump(&mut self, kind: FaultKind) {
@@ -326,6 +409,9 @@ impl FaultCounts {
             FaultKind::DelayFrame => self.delay_frames += 1,
             FaultKind::BitFlip => self.bit_flips += 1,
             FaultKind::ForgeMac => self.forged_macs += 1,
+            FaultKind::ReplayStale => self.replays += 1,
+            FaultKind::RelocateBucket => self.relocations += 1,
+            FaultKind::RollbackBurst => self.rollback_bursts += 1,
         }
     }
 }
@@ -390,6 +476,125 @@ impl FaultInjector {
     }
 }
 
+/// Salt mixed into the adversary seed for burst-start jitter, so the attack
+/// schedule never shares a stream with the injectors it drives.
+const ADVERSARY_STREAM_SALT: u64 = 0xAD5A_AD5A_AD5A_AD5A;
+
+/// One targeted attack burst: `kind` fires at `ppm` against `site` for
+/// `len` cycles, optionally repeating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryBurst {
+    /// Injection site under attack (a sub-channel, a link direction…).
+    pub site: u64,
+    /// The attack mounted during the burst.
+    pub kind: FaultKind,
+    /// First cycle of the first burst (before jitter).
+    pub start: MemCycle,
+    /// Burst length in memory cycles.
+    pub len: u64,
+    /// Cycles between burst starts; `0` means a single burst.
+    pub period: u64,
+    /// Number of bursts when `period > 0` (`0` is treated as 1).
+    pub repeats: u32,
+    /// Injection rate inside the burst (parts per million).
+    pub ppm: u32,
+}
+
+/// A targeted, bursty, seeded-deterministic attack schedule.
+///
+/// Where [`FaultPlan`] models ambient noise plus hand-placed windows, an
+/// `AdversaryPlan` models an *active adversary*: named attack kinds aimed
+/// at specific sites in bursts whose exact start cycles are drawn
+/// deterministically from the plan seed (so two runs with the same seed
+/// face bit-identical attacks, but the schedule is not hand-predictable).
+/// It compiles down to ordinary [`SiteWindow`]s, so everything downstream
+/// — injectors, overlays, snapshots — is unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AdversaryPlan {
+    /// Seed for both the compiled injector streams and the burst jitter.
+    pub seed: u64,
+    /// Maximum start-cycle jitter applied to every burst occurrence.
+    pub jitter: u64,
+    /// The attack bursts, in declaration order.
+    pub bursts: Vec<AdversaryBurst>,
+}
+
+impl AdversaryPlan {
+    /// An empty schedule (attacks nothing) for `seed`.
+    pub fn new(seed: u64) -> AdversaryPlan {
+        AdversaryPlan {
+            seed,
+            jitter: 0,
+            bursts: Vec::new(),
+        }
+    }
+
+    /// Builder-style: sets the per-occurrence start jitter.
+    pub fn jitter(mut self, jitter: u64) -> AdversaryPlan {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Builder-style: appends an attack burst.
+    pub fn burst(mut self, burst: AdversaryBurst) -> AdversaryPlan {
+        self.bursts.push(burst);
+        self
+    }
+
+    /// Validates burst shapes and rates.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for b in &self.bursts {
+            if b.len == 0 {
+                return Err(SimError::config(format!(
+                    "adversary burst of {} at site {:#x} has zero length",
+                    b.kind.label(),
+                    b.site
+                )));
+            }
+            if b.ppm > 1_000_000 {
+                return Err(SimError::config(format!(
+                    "adversary burst rate {} ppm exceeds 1_000_000",
+                    b.ppm
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the schedule into a [`FaultPlan`] of site-scoped windows.
+    ///
+    /// Deterministic in `seed`: each burst occurrence's start is offset by
+    /// a jitter draw from a stream keyed on the burst's index, so adding or
+    /// reordering bursts never silently reshuffles another burst's timing.
+    pub fn compile(&self) -> FaultPlan {
+        let mut plan = FaultPlan {
+            seed: self.seed,
+            ..FaultPlan::none()
+        };
+        for (i, b) in self.bursts.iter().enumerate() {
+            let mut rng = Xoshiro256::stream(self.seed ^ ADVERSARY_STREAM_SALT, i as u64);
+            let occurrences = if b.period == 0 { 1 } else { b.repeats.max(1) };
+            for r in 0..occurrences as u64 {
+                let offset = if self.jitter == 0 {
+                    0
+                } else {
+                    rng.gen_below(self.jitter + 1)
+                };
+                let start = b.start.0.saturating_add(r * b.period).saturating_add(offset);
+                plan = plan.site_window(
+                    b.site,
+                    FaultWindow {
+                        start: MemCycle(start),
+                        end: MemCycle(start.saturating_add(b.len)),
+                        rates: FaultRates::only(b.kind, b.ppm),
+                    },
+                );
+            }
+        }
+        plan
+    }
+}
+
 impl crate::snapshot::Snapshot for FaultCounts {
     fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
         let FaultCounts {
@@ -398,12 +603,18 @@ impl crate::snapshot::Snapshot for FaultCounts {
             delay_frames,
             bit_flips,
             forged_macs,
+            replays,
+            relocations,
+            rollback_bursts,
         } = self;
         w.put_u64(*corrupt_frames);
         w.put_u64(*drop_frames);
         w.put_u64(*delay_frames);
         w.put_u64(*bit_flips);
         w.put_u64(*forged_macs);
+        w.put_u64(*replays);
+        w.put_u64(*relocations);
+        w.put_u64(*rollback_bursts);
     }
 
     fn load_state(
@@ -415,6 +626,9 @@ impl crate::snapshot::Snapshot for FaultCounts {
         self.delay_frames = r.get_u64()?;
         self.bit_flips = r.get_u64()?;
         self.forged_macs = r.get_u64()?;
+        self.replays = r.get_u64()?;
+        self.relocations = r.get_u64()?;
+        self.rollback_bursts = r.get_u64()?;
         Ok(())
     }
 }
@@ -624,5 +838,154 @@ mod tests {
         }
         // Empty payload is a no-op, not a panic.
         inj.flip_bit(&mut []);
+    }
+
+    #[test]
+    fn adversarial_kinds_are_flagged_and_rated() {
+        for kind in FAULT_KINDS {
+            let rates = FaultRates::only(kind, 123);
+            assert_eq!(rates.rate(kind), 123);
+            assert_eq!(
+                rates.is_adversarial(),
+                kind.is_adversarial(),
+                "{}",
+                kind.label()
+            );
+            // Exactly one kind carries the rate.
+            let others: u32 = FAULT_KINDS
+                .iter()
+                .filter(|&&k| k != kind)
+                .map(|&k| rates.rate(k))
+                .sum();
+            assert_eq!(others, 0);
+        }
+        assert!(FaultKind::ReplayStale.is_adversarial());
+        assert!(!FaultKind::BitFlip.is_adversarial());
+    }
+
+    #[test]
+    fn plan_reports_adversary_presence() {
+        assert!(!FaultPlan::none().has_adversary());
+        let noisy = FaultPlan::with_rates(1, link_rates(500_000));
+        assert!(!noisy.has_adversary(), "random faults are not an adversary");
+        let replaying = FaultPlan::with_rates(1, FaultRates::only(FaultKind::ReplayStale, 10));
+        assert!(replaying.has_adversary());
+        let targeted = FaultPlan::none().site_window(
+            9,
+            FaultWindow {
+                start: MemCycle(0),
+                end: MemCycle(100),
+                rates: FaultRates::only(FaultKind::RollbackBurst, 1_000_000),
+            },
+        );
+        assert!(targeted.has_adversary());
+    }
+
+    #[test]
+    fn adversary_plan_compiles_to_targeted_windows() {
+        let plan = AdversaryPlan::new(77)
+            .burst(AdversaryBurst {
+                site: 0x5D11,
+                kind: FaultKind::ReplayStale,
+                start: MemCycle(1_000),
+                len: 500,
+                period: 10_000,
+                repeats: 3,
+                ppm: 1_000_000,
+            })
+            .burst(AdversaryBurst {
+                site: 0x5D12,
+                kind: FaultKind::RelocateBucket,
+                start: MemCycle(2_000),
+                len: 250,
+                period: 0,
+                repeats: 0,
+                ppm: 800_000,
+            });
+        assert!(plan.validate().is_ok());
+        let compiled = plan.compile();
+        assert_eq!(compiled.seed, 77);
+        assert!(compiled.base.is_zero());
+        assert_eq!(compiled.site_windows.len(), 4, "3 repeats + 1 one-shot");
+        assert!(compiled.has_adversary());
+        // The repeating burst hits only its target site.
+        assert_eq!(
+            compiled
+                .rates_at_site(0x5D11, MemCycle(1_100))
+                .replay_ppm,
+            1_000_000
+        );
+        assert_eq!(compiled.rates_at_site(0x5D12, MemCycle(1_100)), FaultRates::none());
+        assert_eq!(
+            compiled
+                .rates_at_site(0x5D12, MemCycle(2_100))
+                .relocate_ppm,
+            800_000
+        );
+        // Deterministic: recompiling yields the identical schedule.
+        assert_eq!(compiled, plan.compile());
+    }
+
+    #[test]
+    fn adversary_jitter_is_seeded_and_bounded() {
+        let base = AdversaryPlan::new(5).jitter(64).burst(AdversaryBurst {
+            site: 1,
+            kind: FaultKind::RollbackBurst,
+            start: MemCycle(10_000),
+            len: 100,
+            period: 1_000,
+            repeats: 8,
+            ppm: 1_000_000,
+        });
+        let a = base.compile();
+        let b = base.compile();
+        assert_eq!(a, b, "same seed, same jittered schedule");
+        let mut other = base.clone();
+        other.seed = 6;
+        assert_ne!(a, other.compile(), "a different seed moves the bursts");
+        for (i, s) in a.site_windows.iter().enumerate() {
+            let nominal = 10_000 + i as u64 * 1_000;
+            assert!(
+                (nominal..=nominal + 64).contains(&s.window.start.0),
+                "occurrence {i} starts at {}",
+                s.window.start.0
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_plan_validation_rejects_bad_bursts() {
+        let empty = AdversaryPlan::new(0).burst(AdversaryBurst {
+            site: 0,
+            kind: FaultKind::ReplayStale,
+            start: MemCycle(0),
+            len: 0,
+            period: 0,
+            repeats: 0,
+            ppm: 1,
+        });
+        assert!(empty.validate().is_err());
+        let over = AdversaryPlan::new(0).burst(AdversaryBurst {
+            site: 0,
+            kind: FaultKind::ReplayStale,
+            start: MemCycle(0),
+            len: 10,
+            period: 0,
+            repeats: 0,
+            ppm: 1_000_001,
+        });
+        assert!(over.validate().is_err());
+        // Everything the compiler emits passes FaultPlan validation too.
+        let ok = AdversaryPlan::new(3).burst(AdversaryBurst {
+            site: 2,
+            kind: FaultKind::RelocateBucket,
+            start: MemCycle(50),
+            len: 10,
+            period: 100,
+            repeats: 4,
+            ppm: 1_000_000,
+        });
+        assert!(ok.validate().is_ok());
+        assert!(ok.compile().validate().is_ok());
     }
 }

@@ -42,20 +42,85 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"DORAMCKP";
 
 /// Checkpoint format version. Bumped on any incompatible layout change;
 /// older files are rejected, never misread.
-pub const CHECKPOINT_VERSION: u32 = 3;
+///
+/// Version 4 (this build) added the run-epoch counter and the 16-byte
+/// authentication field to the header, and extended several component
+/// payloads with adversarial-fault state; version-3 files are rejected
+/// with [`SnapshotErrorKind::BadVersion`] — re-run from the start rather
+/// than resuming across the format change.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
-/// A malformed, truncated, or incompatible snapshot.
+/// Width of the checkpoint authentication tag (a CMAC computed by the
+/// layer that owns the key; all-zero when the run is unkeyed).
+pub const CHECKPOINT_AUTH_BYTES: usize = 16;
+
+/// What went wrong with a snapshot, machine-readably.
+///
+/// `--resume` surfaces these as distinct failures so an operator can tell
+/// a half-written file ([`Truncated`](Self::Truncated)) from tampering
+/// ([`BadChecksum`](Self::BadChecksum)/[`BadMac`](Self::BadMac)) from a
+/// rollback attack ([`RolledBack`](Self::RolledBack)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotErrorKind {
+    /// The data ended before the decoder was done.
+    Truncated,
+    /// The bytes decode but violate the layout (bad tag, trailing data…).
+    Malformed,
+    /// The file does not open with the checkpoint magic.
+    BadMagic,
+    /// The file's format version is not the one this build reads.
+    BadVersion,
+    /// The trailing FNV checksum does not match (accidental corruption).
+    BadChecksum,
+    /// The keyed authentication tag does not match (active tampering).
+    BadMac,
+    /// The checkpoint's run epoch is older than the newest one recorded —
+    /// an attacker (or operator error) is re-supplying a stale checkpoint.
+    RolledBack,
+    /// The file could not be read at all.
+    Io,
+}
+
+impl SnapshotErrorKind {
+    /// Stable lowercase label used in error messages and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            SnapshotErrorKind::Truncated => "truncated",
+            SnapshotErrorKind::Malformed => "malformed",
+            SnapshotErrorKind::BadMagic => "bad_magic",
+            SnapshotErrorKind::BadVersion => "bad_version",
+            SnapshotErrorKind::BadChecksum => "bad_checksum",
+            SnapshotErrorKind::BadMac => "bad_mac",
+            SnapshotErrorKind::RolledBack => "rolled_back",
+            SnapshotErrorKind::Io => "io",
+        }
+    }
+}
+
+/// A malformed, truncated, tampered, or incompatible snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SnapshotError {
+    kind: SnapshotErrorKind,
     message: String,
 }
 
 impl SnapshotError {
-    /// Creates an error carrying a human-readable description.
+    /// Creates a generic layout error ([`SnapshotErrorKind::Malformed`]).
     pub fn new(message: impl Into<String>) -> SnapshotError {
+        SnapshotError::of_kind(SnapshotErrorKind::Malformed, message)
+    }
+
+    /// Creates an error of a specific kind.
+    pub fn of_kind(kind: SnapshotErrorKind, message: impl Into<String>) -> SnapshotError {
         SnapshotError {
+            kind,
             message: message.into(),
         }
+    }
+
+    /// The machine-readable failure class.
+    pub fn kind(&self) -> SnapshotErrorKind {
+        self.kind
     }
 
     /// The description without the prefix `Display` adds.
@@ -175,15 +240,21 @@ impl<'a> SnapshotReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        if self.pos + n > self.buf.len() {
-            return Err(SnapshotError::new(format!(
-                "truncated: needed {n} bytes at offset {}, only {} remain",
-                self.pos,
-                self.buf.len() - self.pos
-            )));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // Checked arithmetic: a hostile length prefix near usize::MAX must
+        // come back as a typed error, not an overflow panic.
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(SnapshotError::of_kind(
+                SnapshotErrorKind::Truncated,
+                format!(
+                    "truncated: needed {n} bytes at offset {}, only {} remain",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ),
+            ));
+        };
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -203,7 +274,10 @@ impl<'a> SnapshotReader<'a> {
     /// Returns [`SnapshotError`] on truncation.
     pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
         let b = self.take(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        let b: [u8; 4] = b
+            .try_into()
+            .map_err(|_| SnapshotError::of_kind(SnapshotErrorKind::Truncated, "short u32"))?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Reads a `u64`.
@@ -213,7 +287,10 @@ impl<'a> SnapshotReader<'a> {
     /// Returns [`SnapshotError`] on truncation.
     pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        let b: [u8; 8] = b
+            .try_into()
+            .map_err(|_| SnapshotError::of_kind(SnapshotErrorKind::Truncated, "short u64"))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Reads a `usize` (stored as `u64`).
@@ -450,32 +527,71 @@ pub fn write_atomic_inner(
 pub struct CheckpointData {
     /// FNV-1a hash of the configuration the snapshot was taken under.
     pub config_hash: u64,
+    /// Monotonic run-epoch counter: bumped every time a checkpointing run
+    /// starts, so a resume can detect being handed a checkpoint from an
+    /// *earlier* run (a rollback attack) even when the file itself is
+    /// authentic.
+    pub epoch: u64,
     /// Memory cycle the simulation had completed up to.
     pub cycle: u64,
+    /// Keyed authentication tag over [`checkpoint_auth_message`]. The key
+    /// lives above this crate (the simulation layer owns `--ckpt-key`);
+    /// all-zero marks an unkeyed checkpoint protected only by the FNV
+    /// checksum.
+    pub auth: [u8; CHECKPOINT_AUTH_BYTES],
     /// Component state, to feed through [`Snapshot::load_state`].
     pub payload: Vec<u8>,
 }
 
-/// Writes a checkpoint file: magic, version, config hash, cycle, payload
-/// and a trailing FNV-1a checksum over everything before it — via
-/// [`write_atomic`].
+impl CheckpointData {
+    /// An unkeyed checkpoint (auth field zeroed).
+    pub fn unkeyed(config_hash: u64, epoch: u64, cycle: u64, payload: Vec<u8>) -> CheckpointData {
+        CheckpointData {
+            config_hash,
+            epoch,
+            cycle,
+            auth: [0; CHECKPOINT_AUTH_BYTES],
+            payload,
+        }
+    }
+
+    /// Whether the auth field carries a (nonzero) tag.
+    pub fn is_authenticated(&self) -> bool {
+        self.auth != [0; CHECKPOINT_AUTH_BYTES]
+    }
+}
+
+/// The exact byte string a keyed checkpoint MAC must cover: every header
+/// field *except* the tag itself, then the payload. Both the writer (to
+/// tag) and the reader (to verify) derive it from the same
+/// [`CheckpointData`], so the tag binds the version, configuration, epoch,
+/// cycle and state together — truncating, splicing, or rolling any of them
+/// back breaks it.
+pub fn checkpoint_auth_message(data: &CheckpointData) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(44 + data.payload.len());
+    msg.extend_from_slice(&CHECKPOINT_MAGIC);
+    msg.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    msg.extend_from_slice(&data.config_hash.to_le_bytes());
+    msg.extend_from_slice(&data.epoch.to_le_bytes());
+    msg.extend_from_slice(&data.cycle.to_le_bytes());
+    msg.extend_from_slice(&(data.payload.len() as u64).to_le_bytes());
+    msg.extend_from_slice(&data.payload);
+    msg
+}
+
+/// Minimum size of a well-formed checkpoint file: header + auth + checksum.
+const CHECKPOINT_MIN_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8 + CHECKPOINT_AUTH_BYTES + 8;
+
+/// Writes a checkpoint file: magic, version, config hash, run epoch,
+/// cycle, payload, the authentication tag and a trailing FNV-1a checksum
+/// over everything before it — via [`write_atomic`].
 ///
 /// # Errors
 ///
 /// Propagates the underlying I/O error.
-pub fn write_checkpoint(
-    path: &Path,
-    config_hash: u64,
-    cycle: u64,
-    payload: &[u8],
-) -> std::io::Result<()> {
-    let mut out = Vec::with_capacity(44 + payload.len());
-    out.extend_from_slice(&CHECKPOINT_MAGIC);
-    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
-    out.extend_from_slice(&config_hash.to_le_bytes());
-    out.extend_from_slice(&cycle.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(payload);
+pub fn write_checkpoint(path: &Path, data: &CheckpointData) -> std::io::Result<()> {
+    let mut out = checkpoint_auth_message(data);
+    out.extend_from_slice(&data.auth);
     let checksum = fnv1a64(&out);
     out.extend_from_slice(&checksum.to_le_bytes());
     write_atomic(path, &out)
@@ -483,40 +599,67 @@ pub fn write_checkpoint(
 
 /// Reads and validates a checkpoint file written by [`write_checkpoint`].
 ///
+/// Validates framing, version and the FNV checksum; verifying the keyed
+/// `auth` tag (and the epoch against the recorded maximum) is the caller's
+/// job, since only the simulation layer holds the key.
+///
 /// # Errors
 ///
-/// Returns [`SnapshotError`] on I/O failure, bad magic, unsupported
+/// Returns [`SnapshotError`] — with a discriminating
+/// [`kind`](SnapshotError::kind) — on I/O failure, bad magic, unsupported
 /// version, length mismatch, or checksum mismatch.
 pub fn read_checkpoint(path: &Path) -> Result<CheckpointData, SnapshotError> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| SnapshotError::new(format!("cannot read {}: {e}", path.display())))?;
-    if bytes.len() < 44 {
-        return Err(SnapshotError::new("file shorter than checkpoint header"));
+    let bytes = std::fs::read(path).map_err(|e| {
+        SnapshotError::of_kind(
+            SnapshotErrorKind::Io,
+            format!("cannot read {}: {e}", path.display()),
+        )
+    })?;
+    if bytes.len() < CHECKPOINT_MIN_LEN {
+        return Err(SnapshotError::of_kind(
+            SnapshotErrorKind::Truncated,
+            "file shorter than checkpoint header",
+        ));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
-    if fnv1a64(body) != stored {
-        return Err(SnapshotError::new("checksum mismatch (corrupt checkpoint)"));
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(tail);
+    if fnv1a64(body) != u64::from_le_bytes(stored) {
+        return Err(SnapshotError::of_kind(
+            SnapshotErrorKind::BadChecksum,
+            "checksum mismatch (corrupt checkpoint)",
+        ));
     }
     let mut r = SnapshotReader::new(body);
     let magic = r.take(8)?;
     if magic != CHECKPOINT_MAGIC {
-        return Err(SnapshotError::new("bad magic (not a checkpoint file)"));
+        return Err(SnapshotError::of_kind(
+            SnapshotErrorKind::BadMagic,
+            "bad magic (not a checkpoint file)",
+        ));
     }
     let version = r.get_u32()?;
     if version != CHECKPOINT_VERSION {
-        return Err(SnapshotError::new(format!(
-            "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
-        )));
+        return Err(SnapshotError::of_kind(
+            SnapshotErrorKind::BadVersion,
+            format!(
+                "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+            ),
+        ));
     }
     let config_hash = r.get_u64()?;
+    let epoch = r.get_u64()?;
     let cycle = r.get_u64()?;
     let payload_len = r.get_usize()?;
     let payload = r.take(payload_len)?.to_vec();
+    let mut auth = [0u8; CHECKPOINT_AUTH_BYTES];
+    auth.copy_from_slice(r.take(CHECKPOINT_AUTH_BYTES)?);
     r.finish()?;
     Ok(CheckpointData {
         config_hash,
+        epoch,
         cycle,
+        auth,
         payload,
     })
 }
@@ -623,29 +766,57 @@ mod tests {
     #[test]
     fn checkpoint_file_round_trips() {
         let path = tmp_path("ok.ckpt");
-        write_checkpoint(&path, 0x1234, 999, b"payload bytes").unwrap();
-        let data = read_checkpoint(&path).unwrap();
-        assert_eq!(data.config_hash, 0x1234);
-        assert_eq!(data.cycle, 999);
-        assert_eq!(data.payload, b"payload bytes");
+        let data = CheckpointData::unkeyed(0x1234, 7, 999, b"payload bytes".to_vec());
+        write_checkpoint(&path, &data).unwrap();
+        let read = read_checkpoint(&path).unwrap();
+        assert_eq!(read, data);
+        assert_eq!(read.config_hash, 0x1234);
+        assert_eq!(read.epoch, 7);
+        assert_eq!(read.cycle, 999);
+        assert!(!read.is_authenticated());
+        assert_eq!(read.payload, b"payload bytes");
+    }
+
+    #[test]
+    fn authenticated_checkpoint_round_trips_its_tag() {
+        let path = tmp_path("auth.ckpt");
+        let mut data = CheckpointData::unkeyed(9, 2, 50, vec![1, 2, 3]);
+        data.auth = [0xA5; CHECKPOINT_AUTH_BYTES];
+        write_checkpoint(&path, &data).unwrap();
+        let read = read_checkpoint(&path).unwrap();
+        assert!(read.is_authenticated());
+        assert_eq!(read.auth, [0xA5; CHECKPOINT_AUTH_BYTES]);
+        // The auth message covers everything but the tag itself.
+        assert_eq!(
+            checkpoint_auth_message(&read),
+            checkpoint_auth_message(&data)
+        );
+        let mut rolled = read.clone();
+        rolled.epoch = 1;
+        assert_ne!(
+            checkpoint_auth_message(&rolled),
+            checkpoint_auth_message(&data),
+            "the tag binds the epoch"
+        );
     }
 
     #[test]
     fn corrupt_checkpoint_is_rejected() {
         let path = tmp_path("corrupt.ckpt");
-        write_checkpoint(&path, 1, 2, b"data").unwrap();
+        write_checkpoint(&path, &CheckpointData::unkeyed(1, 1, 2, b"data".to_vec())).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         let err = read_checkpoint(&path).unwrap_err();
+        assert_eq!(err.kind(), SnapshotErrorKind::BadChecksum);
         assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]
     fn truncated_checkpoint_is_rejected() {
         let path = tmp_path("trunc.ckpt");
-        write_checkpoint(&path, 1, 2, b"data").unwrap();
+        write_checkpoint(&path, &CheckpointData::unkeyed(1, 1, 2, b"data".to_vec())).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
         assert!(read_checkpoint(&path).is_err());
@@ -654,21 +825,47 @@ mod tests {
     #[test]
     fn wrong_magic_and_version_are_rejected() {
         let path = tmp_path("magic.ckpt");
-        std::fs::write(&path, b"NOTACKPT").unwrap();
+        std::fs::write(&path, b"NOTACKPTNOTACKPTNOTACKPTNOTACKPTNOTACKPTNOTACKPTNOTACKPTNOTACKPT")
+            .unwrap();
         assert!(read_checkpoint(&path).is_err());
 
         // Valid checksum but wrong version.
         let mut out = Vec::new();
         out.extend_from_slice(&CHECKPOINT_MAGIC);
         out.extend_from_slice(&99u32.to_le_bytes());
-        out.extend_from_slice(&0u64.to_le_bytes());
-        out.extend_from_slice(&0u64.to_le_bytes());
-        out.extend_from_slice(&0u64.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes()); // config hash
+        out.extend_from_slice(&0u64.to_le_bytes()); // epoch
+        out.extend_from_slice(&0u64.to_le_bytes()); // cycle
+        out.extend_from_slice(&0u64.to_le_bytes()); // payload len
+        out.extend_from_slice(&[0u8; CHECKPOINT_AUTH_BYTES]);
         let sum = fnv1a64(&out);
         out.extend_from_slice(&sum.to_le_bytes());
         std::fs::write(&path, &out).unwrap();
         let err = read_checkpoint(&path).unwrap_err();
+        assert_eq!(err.kind(), SnapshotErrorKind::BadVersion);
         assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn error_kinds_discriminate() {
+        assert_eq!(SnapshotError::new("x").kind(), SnapshotErrorKind::Malformed);
+        let e = SnapshotError::of_kind(SnapshotErrorKind::RolledBack, "epoch 1 < 3");
+        assert_eq!(e.kind(), SnapshotErrorKind::RolledBack);
+        assert_eq!(e.kind().label(), "rolled_back");
+        assert_eq!(e.to_string(), "invalid snapshot: epoch 1 < 3");
+        let missing = read_checkpoint(Path::new("/nonexistent/doram.ckpt")).unwrap_err();
+        assert_eq!(missing.kind(), SnapshotErrorKind::Io);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_an_error_not_a_panic() {
+        // A length prefix of u64::MAX must not overflow the cursor math.
+        let mut w = SnapshotWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let err = r.get_bytes().unwrap_err();
+        assert_eq!(err.kind(), SnapshotErrorKind::Truncated);
     }
 
     #[test]

@@ -104,7 +104,68 @@ fn build_config(opts: &Opts) -> Result<SystemConfig, String> {
             .map_err(|_| format!("--chaos-sub expects a sub-channel index, got '{sub}'"))?;
         b = b.fault_plan(chaos_plan(opts.get_u64("seed", 1)?, sub, opts.get_u64("chaos-at", 10_000)?));
     }
+    if let Some(mode) = opts.get("adversary") {
+        if opts.get("chaos-sub").is_some() {
+            return Err("--adversary and --chaos-sub are mutually exclusive".into());
+        }
+        b = b.fault_plan(adversary_fault_plan(
+            mode,
+            opts.get_u64("seed", 1)?,
+            opts.get_u64("adversary-sub", 0)?,
+            opts.get_u64("adversary-at", 10_000)?,
+            opts.get_u64("adversary-ppm", 30_000)? as u32,
+        )?);
+    }
     b.build().map_err(|e| e.to_string())
+}
+
+/// `--adversary MODE`: a seeded [`AdversaryPlan`] of repeating attack
+/// bursts against secure sub-channel `sub`, compiled down to the ordinary
+/// site-window fault plan. `mix` mounts all three active attacks with
+/// staggered onsets so their bursts interleave.
+fn adversary_fault_plan(
+    mode: &str,
+    seed: u64,
+    sub: u64,
+    start: u64,
+    ppm: u32,
+) -> Result<doram::sim::fault::FaultPlan, String> {
+    use doram::core::secure_channel::SD_SUB_SITE_BASE;
+    use doram::sim::fault::{AdversaryBurst, AdversaryPlan, FaultKind};
+    use doram::sim::MemCycle;
+    let kinds: &[FaultKind] = match mode {
+        "replay" => &[FaultKind::ReplayStale],
+        "relocate" => &[FaultKind::RelocateBucket],
+        "rollback" => &[FaultKind::RollbackBurst],
+        "mix" => &[
+            FaultKind::ReplayStale,
+            FaultKind::RelocateBucket,
+            FaultKind::RollbackBurst,
+        ],
+        other => {
+            return Err(format!(
+                "unknown adversary '{other}' (replay|relocate|rollback|mix)"
+            ))
+        }
+    };
+    // Bursts are sized to land several times inside a default-scale run
+    // (a few tens of thousands of memory cycles): staggered 4k-cycle
+    // onsets, 3k-cycle bursts repeating every 12k cycles. Later windows
+    // win within a site, so the kinds must tile without overlapping.
+    let mut plan = AdversaryPlan::new(seed).jitter(400);
+    for (i, &kind) in kinds.iter().enumerate() {
+        plan = plan.burst(AdversaryBurst {
+            site: SD_SUB_SITE_BASE + sub,
+            kind,
+            start: MemCycle(start + i as u64 * 4_000),
+            len: 3_000,
+            period: 12_000,
+            repeats: 50,
+            ppm,
+        });
+    }
+    plan.validate().map_err(|e| e.to_string())?;
+    Ok(plan.compile())
 }
 
 /// The chaos-soak plan: from `start` on, every bucket read on secure
@@ -174,6 +235,17 @@ fn print_report(r: &RunReport) {
                 fr.refetches
             );
         }
+        if fr.replay_detected > 0 || fr.relocation_detected > 0 || fr.rollback_rejected > 0 {
+            println!(
+                "adversary  : {} replays, {} relocations, {} rollbacks detected \
+                 ({} freshness walks, {} cycles)",
+                fr.replay_detected,
+                fr.relocation_detected,
+                fr.rollback_rejected,
+                fr.freshness_ops,
+                fr.freshness_cycles
+            );
+        }
         if fr.degraded_episode() {
             let health: Vec<String> = fr.sub_health.iter().map(|h| h.to_string()).collect();
             println!(
@@ -213,6 +285,12 @@ fn parse_run_options(opts: &Opts) -> Result<RunOptions, String> {
             .parse()
             .map_err(|_| format!("--watchdog expects a number, got '{v}'"))?;
         ro.watchdog_budget = Some(n);
+    }
+    if let Some(v) = opts.get("ckpt-key") {
+        let k = v
+            .parse()
+            .map_err(|_| format!("--ckpt-key expects a number, got '{v}'"))?;
+        ro.ckpt_key = Some(k);
     }
     Ok(ro)
 }
@@ -300,7 +378,7 @@ fn cmd_run(opts: &Opts) -> Result<(), Box<dyn Error>> {
     let run_opts = parse_run_options(opts)?;
     let trace_opts = parse_trace_options(opts)?;
     let mut sim = match opts.get("resume") {
-        Some(path) => Simulation::resume(cfg, Path::new(path))?,
+        Some(path) => Simulation::resume_with_key(cfg, Path::new(path), run_opts.ckpt_key)?,
         None => Simulation::new(cfg)?,
     };
     // Clone the shared recorder before `run_with` consumes the simulation
@@ -460,7 +538,16 @@ fn cmd_list() {
         "chaos  : --chaos-sub I (sub-channel I turns hostile: 100% forged MACs) \
          --chaos-at N (onset cycle, default 10000)"
     );
-    println!("crash-safety: --checkpoint-every N --checkpoint-dir DIR --resume FILE --watchdog N");
+    println!(
+        "adversary: --adversary replay|relocate|rollback|mix (seeded attack bursts on the SD) \
+         --adversary-sub I (target sub-channel, default 0) \
+         --adversary-at N (onset cycle, default 10000) \
+         --adversary-ppm N (in-burst rate, default 30000)"
+    );
+    println!(
+        "crash-safety: --checkpoint-every N --checkpoint-dir DIR --resume FILE --watchdog N \
+         --ckpt-key K (CMAC-authenticate checkpoints; resume requires the same key)"
+    );
     println!(
         "tracing: --trace-out FILE (Perfetto JSON + metrics sidecars) \
          --trace-filter SUBS --metrics-every N --trace-ring N"
@@ -473,7 +560,8 @@ const USAGE: &str = "usage: doram-cli <run|sweep-c|profile|check|trace|list> [--
     [--merge] [--pipeline] [--json] [--out FILE]
     [--parity] [--scrub-every N] [--probation-window N] [--probation-successes N]
     [--chaos-sub I] [--chaos-at N]
-    [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--watchdog N]
+    [--adversary replay|relocate|rollback|mix] [--adversary-sub I] [--adversary-at N] [--adversary-ppm N]
+    [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--watchdog N] [--ckpt-key K]
     [--trace-out FILE] [--trace-filter SUBS] [--metrics-every N] [--trace-ring N]
        doram-cli trace <summarize|validate> FILE [--min-accesses N]";
 
@@ -675,6 +763,40 @@ mod tests {
 
         // Validation: probation needs the scrubber's probes.
         assert!(build_config(&opts(&["--probation-window", "1000"])).is_err());
+    }
+
+    #[test]
+    fn ckpt_key_parsing() {
+        let ro = parse_run_options(&opts(&["--ckpt-key", "12345"])).unwrap();
+        assert_eq!(ro.ckpt_key, Some(12_345));
+        assert_eq!(parse_run_options(&opts(&[])).unwrap().ckpt_key, None);
+        assert!(parse_run_options(&opts(&["--ckpt-key", "hunter2"])).is_err());
+    }
+
+    #[test]
+    fn adversary_flags_install_attack_bursts() {
+        use doram::sim::fault::FaultKind;
+        let cfg = build_config(&opts(&["--adversary", "replay", "--seed", "9"])).unwrap();
+        assert!(cfg.fault_plan.has_adversary());
+        assert_eq!(cfg.fault_plan, adversary_fault_plan("replay", 9, 0, 10_000, 30_000).unwrap());
+
+        // `mix` mounts all three attack kinds somewhere in the schedule.
+        let mix = adversary_fault_plan("mix", 1, 0, 10_000, 30_000).unwrap();
+        for kind in [
+            FaultKind::ReplayStale,
+            FaultKind::RelocateBucket,
+            FaultKind::RollbackBurst,
+        ] {
+            assert!(
+                mix.site_windows
+                    .iter()
+                    .any(|sw| sw.window.rates.rate(kind) > 0),
+                "mix is missing {kind:?}"
+            );
+        }
+
+        assert!(build_config(&opts(&["--adversary", "nope"])).is_err());
+        assert!(build_config(&opts(&["--adversary", "replay", "--chaos-sub", "1"])).is_err());
     }
 
     #[test]
