@@ -26,6 +26,8 @@ struct Sample {
     scrub_repairs: u64,
     quarantine_entries: u64,
     degraded_episode: bool,
+    freshness_ops: u64,
+    freshness_cycles: u64,
 }
 
 impl Sample {
@@ -45,7 +47,10 @@ impl Sample {
                 "\"ns_read_latency\":{:.2},",
                 "\"throughput_accesses_per_mcycle\":{:.3},",
                 "\"parity_rebuilds\":{},\"scrub_repairs\":{},",
-                "\"quarantine_entries\":{},\"degraded_episode\":{}}}"
+                "\"quarantine_entries\":{},\"degraded_episode\":{},",
+                // Always present, even when zero: a downstream comparer
+                // must see stable keys across healthy and attacked runs.
+                "\"freshness_ops\":{},\"freshness_cycles\":{}}}"
             ),
             self.wall_seconds,
             self.total_mem_cycles,
@@ -57,6 +62,8 @@ impl Sample {
             self.scrub_repairs,
             self.quarantine_entries,
             self.degraded_episode,
+            self.freshness_ops,
+            self.freshness_cycles,
         )
     }
 }
@@ -92,6 +99,8 @@ fn run_one(
         scrub_repairs: faults.scrub_repairs,
         quarantine_entries: faults.quarantine_entries.iter().map(|&e| e as u64).sum(),
         degraded_episode: faults.degraded_episode(),
+        freshness_ops: faults.freshness_ops,
+        freshness_cycles: faults.freshness_cycles,
     })
 }
 

@@ -8,6 +8,7 @@
 use crate::link::{Link, LinkConfig, LinkStats};
 use crate::packet::PacketKind;
 use doram_dram::{Completion, MemOp, MemRequest, SubChannel, SubChannelConfig};
+use doram_obs::SharedRecorder;
 use doram_sim::fault::{FaultCounts, FaultPlan};
 use doram_sim::{MemCycle, SimError};
 use std::collections::VecDeque;
@@ -54,6 +55,12 @@ pub struct BobChannel {
     /// endpoint). Latched instead of panicking so the simulation drains
     /// and the caller can fail-stop.
     fault: Option<SimError>,
+    /// Trace recorder shared with the link and sub-channels; `None` keeps
+    /// the hot path silent.
+    obs: Option<SharedRecorder>,
+    /// Blame row for the SimpleMC holding buffer (`ch{i}.mc`), registered
+    /// by [`BobChannel::set_obs`] when the recorder traces DRAM.
+    mc_blame_res: Option<usize>,
 }
 
 impl BobChannel {
@@ -71,7 +78,27 @@ impl BobChannel {
             resp_pending: VecDeque::new(),
             scratch: Vec::new(),
             fault: None,
+            obs: None,
+            mc_blame_res: None,
         }
+    }
+
+    /// Attaches a trace recorder end to end: the link's serializers
+    /// (blame rows `ch{idx}.link.to_mem` / `.to_cpu`), each sub-channel
+    /// (`ch{idx}.sub{j}`), and the SimpleMC holding buffer (`ch{idx}.mc`,
+    /// an aggregate row charged head-of-line per tick).
+    pub fn set_obs(&mut self, obs: Option<SharedRecorder>, chan_idx: usize) {
+        self.link
+            .set_obs_named(obs.clone(), &format!("ch{chan_idx}.link"));
+        for (j, sub) in self.subs.iter_mut().enumerate() {
+            sub.set_obs_named(obs.clone(), j as u64, &format!("ch{chan_idx}.sub{j}"));
+        }
+        self.mc_blame_res = obs.as_ref().and_then(|r| {
+            let mut r = r.borrow_mut();
+            r.wants(doram_obs::Subsystem::Dram)
+                .then(|| r.blame.resource(&format!("ch{chan_idx}.mc")))
+        });
+        self.obs = obs;
     }
 
     /// Installs a system-wide fault plan on the channel's link, overriding
@@ -152,7 +179,11 @@ impl BobChannel {
             MemOp::Write => PacketKind::WriteRequest,
         };
         self.link
-            .send_to_mem(kind.wire_bytes(), ChannelMsg::Request(req))
+            .send_to_mem_classed(
+                kind.wire_bytes(),
+                ChannelMsg::Request(req),
+                SubChannel::blame_class_of(&req) as u8,
+            )
             .map_err(|m| match m {
                 ChannelMsg::Request(r) => r,
                 // Total match without panicking: the rejected message is
@@ -210,6 +241,18 @@ impl BobChannel {
                 Err(_) => break, // head-of-line blocked on a full queue
             }
         }
+        // Aggregate blame for the holding buffer: whatever is still queued
+        // after the drain waited this cycle, blamed on the head's class
+        // (the head is what a full sub-channel queue is refusing).
+        if let Some(res) = self.mc_blame_res {
+            if let (Some(head), Some(obs)) = (self.mc_pending.front(), &self.obs) {
+                let cls = SubChannel::blame_class_of(head);
+                let n = self.mc_pending.len() as u64;
+                let mut rec = obs.borrow_mut();
+                rec.blame.wait(res, cls, n);
+                rec.blame.delay(res, n);
+            }
+        }
 
         // 3. DRAM.
         self.scratch.clear();
@@ -226,10 +269,11 @@ impl BobChannel {
 
         // 4. Send read responses back over the link.
         while let Some(&c) = self.resp_pending.front() {
-            match self
-                .link
-                .send_to_cpu(PacketKind::ReadResponse.wire_bytes(), ChannelMsg::Response(c))
-            {
+            match self.link.send_to_cpu_classed(
+                PacketKind::ReadResponse.wire_bytes(),
+                ChannelMsg::Response(c),
+                SubChannel::blame_class_of(&c.request) as u8,
+            ) {
                 Ok(()) => {
                     self.resp_pending.pop_front();
                 }
@@ -293,6 +337,8 @@ impl doram_sim::snapshot::Snapshot for BobChannel {
             resp_pending,
             scratch: _,
             fault,
+            obs: _,          // re-wired by the host after restore
+            mc_blame_res: _, // ditto
         } = self;
         link.save_state_with(w, put_channel_msg);
         w.put_usize(subs.len());
@@ -498,6 +544,37 @@ mod tests {
             stats.crc_errors + stats.timeouts
         );
         assert!(ch.fault().is_none(), "no retry budget exhausted");
+    }
+
+    #[test]
+    fn end_to_end_blame_covers_link_mc_and_dram() {
+        use doram_obs::{Recorder, FILTER_ALL};
+        let mut ch = BobChannel::new(BobChannelConfig::default());
+        let rec = Recorder::shared(64, FILTER_ALL, 1_000_000);
+        ch.set_obs(Some(rec.clone()), 1);
+        // Same-bank reads (addr stride within one row-buffer region) queue
+        // up behind each other at every layer.
+        let mut done = Vec::new();
+        let mut now = MemCycle(0);
+        let mut sent = 0u64;
+        while done.len() < 40 && now.0 < 50_000 {
+            if sent < 40 && ch.try_send(req(sent, MemOp::Read, sent * 64), now).is_ok() {
+                sent += 1;
+            }
+            ch.tick(now, &mut done);
+            now += MemCycle(1);
+        }
+        assert_eq!(done.len(), 40);
+        let rec = rec.borrow();
+        rec.blame
+            .check_conservation()
+            .expect("every layer's rows must telescope");
+        let names: Vec<&str> = rec.blame.resources().iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"ch1.link.to_mem"));
+        assert!(names.contains(&"ch1.link.to_cpu"));
+        assert!(names.contains(&"ch1.sub0"));
+        let total: u64 = rec.blame.resources().iter().map(|r| r.queue_delay).sum();
+        assert!(total > 0, "40 back-to-back reads must queue somewhere");
     }
 
     #[test]

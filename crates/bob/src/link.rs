@@ -180,12 +180,27 @@ impl doram_sim::snapshot::Snapshot for LinkStats {
     }
 }
 
+/// One queued frame waiting for the serializer.
+#[derive(Debug, Clone)]
+struct TxEntry<M> {
+    /// Wire bytes (serialization cost).
+    bytes: u64,
+    msg: M,
+    /// Interference blame class tag ([`doram_obs::BlameClass`]).
+    blame: u8,
+    /// Cycle the frame was queued (wait = serialize start − enq).
+    enq: u64,
+    /// The direction's per-class busy prefix at enqueue, settled against
+    /// when serialization begins.
+    busy_snap: [u64; doram_obs::BLAME_CLASSES],
+}
+
 /// One direction of a serial link carrying messages of type `M`.
 #[derive(Debug, Clone)]
 struct Direction<M> {
     cfg: LinkConfig,
-    /// Waiting to serialize: (wire bytes, message).
-    tx: VecDeque<(u64, M)>,
+    /// Waiting to serialize.
+    tx: VecDeque<TxEntry<M>>,
     /// Serializer frees at this cycle.
     tx_busy_until: MemCycle,
     /// In flight: (arrival cycle, wire bytes, message), arrival-ordered.
@@ -210,6 +225,16 @@ struct Direction<M> {
     dir_id: u64,
     /// Trace recorder; `None` (the default) keeps the hot path silent.
     obs: Option<SharedRecorder>,
+    /// Blame-matrix row for this direction's serializer, registered by
+    /// [`Link::set_obs_named`] when the recorder traces the link.
+    blame_res: Option<usize>,
+    /// Blame class of the frame currently occupying the serializer (the
+    /// resource occupant charged for other classes' waits), or `None`
+    /// before the first frame serializes.
+    serializing: Option<u8>,
+    /// The `now` of the most recent tick; stamps enqueue times for
+    /// [`Direction::send`], which has no clock of its own.
+    last_tick: u64,
 }
 
 impl<M> Direction<M> {
@@ -229,14 +254,31 @@ impl<M> Direction<M> {
             label,
             dir_id: stream & 1,
             obs: None,
+            blame_res: None,
+            serializing: None,
+            last_tick: 0,
         }
     }
 
     fn send(&mut self, bytes: u64, msg: M) -> Result<(), M> {
+        self.send_classed(bytes, msg, doram_obs::BlameClass::NsApp as u8)
+    }
+
+    fn send_classed(&mut self, bytes: u64, msg: M, blame: u8) -> Result<(), M> {
         if self.tx.len() >= self.cfg.tx_queue {
             return Err(msg);
         }
-        self.tx.push_back((bytes, msg));
+        let busy_snap = match (self.blame_res, &self.obs) {
+            (Some(res), Some(obs)) => obs.borrow().blame.busy_snapshot(res),
+            _ => [0; doram_obs::BLAME_CLASSES],
+        };
+        self.tx.push_back(TxEntry {
+            bytes,
+            msg,
+            blame,
+            enq: self.last_tick,
+            busy_snap,
+        });
         self.bytes_sent += bytes;
         Ok(())
     }
@@ -334,7 +376,20 @@ impl<M> Direction<M> {
     /// Moves queued packets into flight as the serializer frees up, then
     /// delivers everything that has arrived by `now`.
     fn tick(&mut self, now: MemCycle, out: &mut Vec<M>) {
-        while let Some(&(bytes, _)) = self.tx.front() {
+        if let (Some(res), Some(cls)) = (self.blame_res, self.serializing) {
+            // The occupant is charged for the *previous* cycle whenever
+            // the serializer was still busy at the top of this tick.
+            if self.tx_busy_until >= now {
+                if let Some(obs) = &self.obs {
+                    obs.borrow_mut()
+                        .blame
+                        .busy_cycle(res, doram_obs::BlameClass::from_tag(cls));
+                }
+            }
+        }
+        self.last_tick = now.0;
+        while let Some(front) = self.tx.front() {
+            let bytes = front.bytes;
             let start = self.tx_busy_until.max(now);
             if start > now {
                 break;
@@ -342,7 +397,19 @@ impl<M> Direction<M> {
             let ser_cycles = bytes.div_ceil(self.cfg.bytes_per_cycle).max(1);
             let done = start + MemCycle(ser_cycles);
             self.tx_busy_until = done;
-            let (_, msg) = self.tx.pop_front().expect("front checked");
+            let entry = self.tx.pop_front().expect("front checked");
+            if let Some(res) = self.blame_res {
+                if let Some(obs) = &self.obs {
+                    obs.borrow_mut().blame.settle(
+                        res,
+                        doram_obs::BlameClass::from_tag(entry.blame),
+                        now.0.saturating_sub(entry.enq),
+                        &entry.busy_snap,
+                    );
+                }
+            }
+            self.serializing = Some(entry.blame);
+            let msg = entry.msg;
             // CRC + NAK/replay and drop/timeout recovery, charged up front
             // for determinism: the frame always arrives, just later.
             let penalty = self.roll_recovery(now, ser_cycles);
@@ -397,14 +464,25 @@ impl<M> Direction<M> {
             fault,
             label: _,
             dir_id: _,
-            obs: _, // re-wired by the host after restore
+            obs: _,       // re-wired by the host after restore
+            blame_res: _, // ditto
+            serializing,
+            last_tick,
         } = self;
         w.put_usize(tx.len());
-        for (bytes, msg) in tx {
-            w.put_u64(*bytes);
-            enc(msg, w);
+        for e in tx {
+            w.put_u64(e.bytes);
+            enc(&e.msg, w);
+            w.put_u8(e.blame);
+            w.put_u64(e.enq);
+            for v in e.busy_snap {
+                w.put_u64(v);
+            }
         }
         w.put_u64(tx_busy_until.0);
+        w.put_bool(serializing.is_some());
+        w.put_u8(serializing.unwrap_or(0));
+        w.put_u64(*last_tick);
         w.put_usize(flying.len());
         for (arrival, bytes, msg) in flying {
             w.put_u64(arrival.0);
@@ -433,9 +511,25 @@ impl<M> Direction<M> {
         for _ in 0..r.get_usize()? {
             let bytes = r.get_u64()?;
             let msg = dec(r)?;
-            self.tx.push_back((bytes, msg));
+            let blame = r.get_u8()?;
+            let enq = r.get_u64()?;
+            let mut busy_snap = [0u64; doram_obs::BLAME_CLASSES];
+            for v in &mut busy_snap {
+                *v = r.get_u64()?;
+            }
+            self.tx.push_back(TxEntry {
+                bytes,
+                msg,
+                blame,
+                enq,
+                busy_snap,
+            });
         }
         self.tx_busy_until = MemCycle(r.get_u64()?);
+        let has_ser = r.get_bool()?;
+        let ser_cls = r.get_u8()?;
+        self.serializing = has_ser.then_some(ser_cls);
+        self.last_tick = r.get_u64()?;
         self.flying.clear();
         for _ in 0..r.get_usize()? {
             let arrival = MemCycle(r.get_u64()?);
@@ -484,10 +578,29 @@ impl<M> Link<M> {
 
     /// Attaches (or detaches) a trace recorder. Both directions emit
     /// `link_tx` when a frame enters the serializer and `link_rx` when it
-    /// is delivered.
+    /// is delivered. No blame rows are registered — use
+    /// [`Link::set_obs_named`] for interference attribution.
     pub fn set_obs(&mut self, obs: Option<SharedRecorder>) {
         self.to_mem.obs = obs.clone();
+        self.to_mem.blame_res = None;
         self.to_cpu.obs = obs;
+        self.to_cpu.blame_res = None;
+    }
+
+    /// Attaches a trace recorder under a stable dotted name, registering
+    /// per-direction blame rows (`{name}.to_mem` / `{name}.to_cpu`) when
+    /// the recorder's filter includes the link subsystem. With blame rows
+    /// live, every cycle a frame waits for the serializer is attributed
+    /// to the class of the frame occupying it.
+    pub fn set_obs_named(&mut self, obs: Option<SharedRecorder>, name: &str) {
+        self.set_obs(obs);
+        for (dir, suffix) in [(&mut self.to_mem, "to_mem"), (&mut self.to_cpu, "to_cpu")] {
+            dir.blame_res = dir.obs.as_ref().and_then(|r| {
+                let mut r = r.borrow_mut();
+                r.wants(Subsystem::Link)
+                    .then(|| r.blame.resource(&format!("{name}.{suffix}")))
+            });
+        }
     }
 
     /// Queues a message toward the memory side.
@@ -506,6 +619,25 @@ impl<M> Link<M> {
     /// Returns the message when the TX queue is full.
     pub fn send_to_cpu(&mut self, wire_bytes: u64, msg: M) -> Result<(), M> {
         self.to_cpu.send(wire_bytes, msg)
+    }
+
+    /// [`Link::send_to_mem`] with an explicit blame-class tag
+    /// ([`doram_obs::BlameClass`]) for interference attribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message when the TX queue is full.
+    pub fn send_to_mem_classed(&mut self, wire_bytes: u64, msg: M, blame: u8) -> Result<(), M> {
+        self.to_mem.send_classed(wire_bytes, msg, blame)
+    }
+
+    /// [`Link::send_to_cpu`] with an explicit blame-class tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message when the TX queue is full.
+    pub fn send_to_cpu_classed(&mut self, wire_bytes: u64, msg: M, blame: u8) -> Result<(), M> {
+        self.to_cpu.send_classed(wire_bytes, msg, blame)
     }
 
     /// Whether the memory-bound TX queue can accept another packet.
@@ -1049,6 +1181,120 @@ mod tests {
         assert_eq!(tx, vec![72, 8], "one tx event per frame, wire bytes as value");
         assert_eq!(rx.len(), 2, "every frame is delivered exactly once");
         assert!(rx.contains(&72) && rx.contains(&8));
+    }
+
+    #[test]
+    fn blame_attributes_serializer_waits_and_conserves() {
+        use doram_obs::{BlameClass, Recorder, FILTER_ALL};
+        let mut link: Link<u32> = Link::new(LinkConfig::default());
+        let rec = Recorder::shared(64, FILTER_ALL, 1_000_000);
+        link.set_obs_named(Some(rec.clone()), "sec.link");
+        // Alternate S-App and NS-App frames: every later frame waits on an
+        // earlier occupant of the other class, so cross-class blame accrues
+        // in both directions of the matrix row.
+        for i in 0..10u32 {
+            let cls = if i % 2 == 0 {
+                BlameClass::SAppRead
+            } else {
+                BlameClass::NsApp
+            };
+            link.send_to_mem_classed(72, i, cls as u8).unwrap();
+        }
+        let got = drain(&mut link, 200);
+        assert_eq!(got.len(), 10);
+        let rec = rec.borrow();
+        rec.blame
+            .check_conservation()
+            .expect("blame rows must telescope to queue delay");
+        let rows = rec.blame.resources();
+        let row = rows.iter().find(|r| r.name == "sec.link.to_mem").unwrap();
+        assert!(row.queue_delay > 0, "queued frames must record waiting");
+        assert!(
+            row.waits[BlameClass::SAppRead as usize] > 0,
+            "NS-App frames waited behind an S-App occupant"
+        );
+        assert!(
+            row.waits[BlameClass::NsApp as usize] > 0,
+            "S-App frames waited behind an NS-App occupant"
+        );
+        assert_eq!(row.total_waits(), row.queue_delay);
+        let idle = rows.iter().find(|r| r.name == "sec.link.to_cpu").unwrap();
+        assert_eq!(idle.queue_delay, 0, "idle direction accrues nothing");
+    }
+
+    #[test]
+    fn blame_rows_register_only_via_set_obs_named() {
+        use doram_obs::{Recorder, FILTER_ALL};
+        let mut link: Link<u32> = Link::new(LinkConfig::default());
+        let rec = Recorder::shared(64, FILTER_ALL, 1_000);
+        link.set_obs(Some(rec.clone()));
+        link.send_to_mem(72, 1u32).unwrap();
+        link.send_to_mem(72, 2u32).unwrap();
+        drain(&mut link, 60);
+        assert!(
+            rec.borrow().blame.is_empty(),
+            "plain set_obs keeps the legacy no-blame behavior"
+        );
+        // A filter excluding the link also suppresses registration.
+        let mut link2: Link<u32> = Link::new(LinkConfig::default());
+        let filtered = Recorder::shared(64, doram_obs::parse_filter("sd").unwrap(), 1_000);
+        link2.set_obs_named(Some(filtered.clone()), "sec.link");
+        link2.send_to_mem(72, 1u32).unwrap();
+        drain(&mut link2, 60);
+        assert!(filtered.borrow().blame.is_empty());
+    }
+
+    #[test]
+    fn blame_state_survives_snapshot_resume() {
+        use doram_obs::{BlameClass, Recorder, FILTER_ALL};
+        use doram_sim::snapshot::{SnapshotReader, SnapshotWriter};
+        let mut link: Link<u32> = Link::new(LinkConfig::default());
+        let rec = Recorder::shared(64, FILTER_ALL, 1_000_000);
+        link.set_obs_named(Some(rec.clone()), "sec.link");
+        for i in 0..8u32 {
+            link.send_to_mem_classed(72, i, BlameClass::SAppRead as u8).unwrap();
+        }
+        // Stop mid-queue: some frames settled, some still waiting with
+        // live busy snapshots.
+        let mut at_mem = Vec::new();
+        let mut at_cpu = Vec::new();
+        for c in 0..10u64 {
+            link.tick(MemCycle(c), &mut at_mem, &mut at_cpu);
+        }
+        assert!(link.pending() > 0);
+        let mut w = SnapshotWriter::new();
+        link.save_state_with(&mut w, |m, w| w.put_u64(u64::from(*m)));
+        let bytes = w.into_bytes();
+        let mut resumed: Link<u32> = Link::new(LinkConfig::default());
+        let rec2 = Recorder::shared(64, FILTER_ALL, 1_000_000);
+        {
+            // Carry the blame matrix across like the system checkpoint does.
+            let mut w = SnapshotWriter::new();
+            doram_sim::snapshot::Snapshot::save_state(&rec.borrow().blame, &mut w);
+            let b = w.into_bytes();
+            let mut r = SnapshotReader::new(&b);
+            doram_sim::snapshot::Snapshot::load_state(&mut rec2.borrow_mut().blame, &mut r)
+                .unwrap();
+        }
+        resumed.set_obs_named(Some(rec2.clone()), "sec.link");
+        let mut r = SnapshotReader::new(&bytes);
+        resumed
+            .load_state_with(&mut r, |r| r.get_u64().map(|v| v as u32))
+            .unwrap();
+        for c in 10..400u64 {
+            link.tick(MemCycle(c), &mut at_mem, &mut at_cpu);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            resumed.tick(MemCycle(c), &mut a, &mut b);
+        }
+        let (a, b) = (rec.borrow(), rec2.borrow());
+        a.blame.check_conservation().unwrap();
+        b.blame.check_conservation().unwrap();
+        let row_a = &a.blame.resources()[0];
+        let row_b = &b.blame.resources()[0];
+        assert_eq!(row_a.waits, row_b.waits, "resumed blame continues exactly");
+        assert_eq!(row_a.queue_delay, row_b.queue_delay);
+        assert!(row_a.queue_delay > 0);
     }
 
     #[test]

@@ -165,6 +165,16 @@ impl Channel {
             Channel::Bob(ch) => ch.debug_state(),
         }
     }
+
+    /// Attaches a trace recorder, registering interference-blame rows
+    /// under `ch{idx}.*` names (direct channels expose one `ch{idx}.sub0`
+    /// row; BOB channels add their link serializers and SimpleMC buffer).
+    pub fn set_obs(&mut self, obs: Option<doram_obs::SharedRecorder>, idx: usize) {
+        match self {
+            Channel::Direct(sc) => sc.set_obs_named(obs, idx as u64, &format!("ch{idx}.sub0")),
+            Channel::Bob(ch) => ch.set_obs(obs, idx),
+        }
+    }
 }
 
 impl Snapshot for Channel {
@@ -294,6 +304,13 @@ impl ChannelFabric {
     /// Total column commands issued across the fabric (watchdog progress).
     pub fn column_ops(&self) -> u64 {
         self.channels.iter().map(Channel::column_ops).sum()
+    }
+
+    /// Attaches a trace recorder to every channel (blame rows `ch{i}.*`).
+    pub fn set_obs(&mut self, obs: Option<doram_obs::SharedRecorder>) {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            ch.set_obs(obs.clone(), i);
+        }
     }
 
     /// One-line summary per channel, for watchdog diagnostics.

@@ -334,6 +334,40 @@ mod tests {
     }
 
     #[test]
+    fn report_json_emits_freshness_keys_even_when_zero() {
+        // A clean run (no adversary, no freshness-tree walks) must still
+        // carry the freshness fields: downstream comparers key on a
+        // stable schema, and a vanishing key reads as a format change.
+        use crate::config::Scheme;
+        use crate::metrics::RunReport;
+        use doram_sim::stats::{Histogram, RunningMean};
+        use doram_trace::Benchmark;
+        let r = RunReport {
+            scheme: Scheme::Baseline,
+            benchmark: Benchmark::Libq,
+            ns_exec_cpu_cycles: vec![10],
+            s_exec_cpu_cycles: None,
+            ns_read_latency: RunningMean::new(),
+            ns_write_latency: RunningMean::new(),
+            per_app_read_latency: vec![],
+            ns_read_histogram: Histogram::new(8, 4),
+            channel_utilization: vec![],
+            channel_row_hit: vec![],
+            oram: None,
+            secure_link_bytes: None,
+            channel_energy: vec![],
+            per_core_mlp: vec![],
+            total_mem_cycles: 1,
+            faults: Some(crate::metrics::FaultReport::default()),
+        };
+        let j = report_json(&r);
+        assert!(j.contains("\"freshness_ops\":0"), "missing zero freshness_ops: {j}");
+        assert!(j.contains("\"freshness_cycles\":0"), "missing zero freshness_cycles: {j}");
+        assert!(j.contains("\"replay_detected\":0"));
+        assert!(j.contains("\"degraded_episode\":false"));
+    }
+
+    #[test]
     fn formatters() {
         assert_eq!(fmt3(0.87512), "0.875");
         assert_eq!(fmt_pct(0.225), "22.5%");

@@ -157,6 +157,22 @@ impl SecMsg {
             _ => PacketKind::Secure.wire_bytes(),
         }
     }
+
+    /// Interference-blame class of the requestor this message serves:
+    /// NS-App traffic, the S-App's latency-critical read path (secure
+    /// request/response and split-level reads), or its background
+    /// writebacks (posted split writes).
+    fn blame_class(&self) -> doram_obs::BlameClass {
+        match self {
+            SecMsg::NsReq(_) | SecMsg::NsResp(_) => doram_obs::BlameClass::NsApp,
+            SecMsg::SecReq(_)
+            | SecMsg::SecResp(_)
+            | SecMsg::SplitReadReq(_)
+            | SecMsg::SplitReadBatch(_)
+            | SecMsg::SplitReadResp(_) => doram_obs::BlameClass::SAppRead,
+            SecMsg::SplitWrite(_) => doram_obs::BlameClass::SAppWriteback,
+        }
+    }
 }
 
 /// Configuration of the secure channel.
@@ -836,6 +852,13 @@ pub struct SecureChannel {
     scrub_every: u64,
     /// Trace recorder; `None` (the default) keeps the hot path silent.
     obs: Option<SharedRecorder>,
+    /// Blame row for the SimpleMC holding buffer (`sd.mc`), registered by
+    /// [`SecureChannel::set_obs`] when the recorder traces the SD.
+    mc_blame_res: Option<usize>,
+    /// Blame row for CPU-bound messages waiting on the link (`sd.out`).
+    out_blame_res: Option<usize>,
+    /// Blame row for blocks held by the freshness-tree walk (`sd.verify`).
+    verify_blame_res: Option<usize>,
 }
 
 impl SecureChannel {
@@ -885,6 +908,9 @@ impl SecureChannel {
             parity: cfg.parity,
             scrub_every: cfg.scrub_every,
             obs: None,
+            mc_blame_res: None,
+            out_blame_res: None,
+            verify_blame_res: None,
         }
     }
 
@@ -893,11 +919,24 @@ impl SecureChannel {
     /// itself emits the SD-side access-span events (arrival, read-phase
     /// done, access done) plus integrity fault/recovery instants.
     pub fn set_obs(&mut self, obs: Option<SharedRecorder>) {
-        self.link.set_obs(obs.clone());
+        self.link.set_obs_named(obs.clone(), "sec.link");
         for (i, sub) in self.subs.iter_mut().enumerate() {
             sub.set_obs(obs.clone(), i as u64);
         }
         self.fsm.set_obs(obs.clone());
+        // Aggregate blame rows for the SD-side holding queues.
+        let mut rows = (None, None, None);
+        if let Some(rec) = &obs {
+            let mut rec = rec.borrow_mut();
+            if rec.wants(Subsystem::Sd) {
+                rows = (
+                    Some(rec.blame.resource("sd.mc")),
+                    Some(rec.blame.resource("sd.out")),
+                    Some(rec.blame.resource("sd.verify")),
+                );
+            }
+        }
+        (self.mc_blame_res, self.out_blame_res, self.verify_blame_res) = rows;
         self.obs = obs;
     }
 
@@ -1046,7 +1085,9 @@ impl SecureChannel {
     /// Returns the request on link back-pressure.
     pub fn try_send_ns(&mut self, req: MemRequest) -> Result<(), MemRequest> {
         let msg = SecMsg::NsReq(req);
-        self.link.send_to_mem(msg.wire_bytes(), msg).map_err(|m| match m {
+        self.link
+            .send_to_mem_classed(msg.wire_bytes(), msg, msg.blame_class() as u8)
+            .map_err(|m| match m {
             SecMsg::NsReq(r) => r,
             // The rejected message is the one just passed in; total match
             // without panicking.
@@ -1069,7 +1110,7 @@ impl SecureChannel {
     pub fn send_secure(&mut self, job: OramJob) {
         let msg = SecMsg::SecReq(job);
         self.link
-            .send_to_mem(msg.wire_bytes(), msg)
+            .send_to_mem_classed(msg.wire_bytes(), msg, msg.blame_class() as u8)
             .unwrap_or_else(|_| panic!("secure link send refused; check can_send_secure"));
     }
 
@@ -1080,11 +1121,13 @@ impl SecureChannel {
     /// Returns the fetch on link back-pressure.
     pub fn try_deliver_split_read(&mut self, fetch: SplitFetch) -> Result<(), SplitFetch> {
         let msg = SecMsg::SplitReadResp(fetch);
-        self.link.send_to_mem(msg.wire_bytes(), msg).map_err(|m| match m {
-            SecMsg::SplitReadResp(f) => f,
-            // The rejected message is the one just passed in.
-            _ => fetch,
-        })
+        self.link
+            .send_to_mem_classed(msg.wire_bytes(), msg, msg.blame_class() as u8)
+            .map_err(|m| match m {
+                SecMsg::SplitReadResp(f) => f,
+                // The rejected message is the one just passed in.
+                _ => fetch,
+            })
     }
 
     /// Advances one memory cycle.
@@ -1160,6 +1203,17 @@ impl SecureChannel {
                 Err(_) => break,
             }
         }
+        // Aggregate blame: NS requests still held behind a full
+        // sub-channel queue waited this cycle; the head is what the queue
+        // refused, so its class (always NS here) takes the row.
+        if let Some(res) = self.mc_blame_res {
+            if let (false, Some(obs)) = (self.mc_pending.is_empty(), &self.obs) {
+                let n = self.mc_pending.len() as u64;
+                let mut rec = obs.borrow_mut();
+                rec.blame.wait(res, doram_obs::BlameClass::NsApp, n);
+                rec.blame.delay(res, n);
+            }
+        }
 
         // 3. SD: drive the ORAM FSM.
         let mut events = Vec::new();
@@ -1228,8 +1282,22 @@ impl SecureChannel {
                 Delivered::RebuildPartial => {}
             }
         }
+        // Aggregate blame: blocks still held by the freshness-tree walk
+        // are stalled on verification itself.
+        if let Some(res) = self.verify_blame_res {
+            if let (false, Some(obs)) = (self.verify_pending.is_empty(), &self.obs) {
+                let n = self.verify_pending.len() as u64;
+                let mut rec = obs.borrow_mut();
+                rec.blame.wait(res, doram_obs::BlameClass::IntegrityVerify, n);
+                rec.blame.delay(res, n);
+            }
+        }
         while let Some(&(si, req)) = self.pending_refetch.front() {
-            match self.subs[si].enqueue(req) {
+            // Recovery reads are the integrity engine's traffic: waits
+            // they inflict on others are blamed on verification.
+            match self.subs[si]
+                .enqueue_tagged(req, doram_obs::BlameClass::IntegrityVerify as u8)
+            {
                 Ok(()) => {
                     self.pending_refetch.pop_front();
                 }
@@ -1237,7 +1305,8 @@ impl SecureChannel {
             }
         }
         while let Some(&(si, req)) = self.pending_rebuild.front() {
-            match self.subs[si].enqueue(req) {
+            // Parity-share reads ride the scrub/parity blame class.
+            match self.subs[si].enqueue_tagged(req, doram_obs::BlameClass::ScrubParity as u8) {
                 Ok(()) => {
                     self.pending_rebuild.pop_front();
                 }
@@ -1360,17 +1429,42 @@ impl SecureChannel {
         // 5. Flush CPU-bound messages (SD traffic first: it is latency-
         // critical and the paper sizes the link for it).
         while let Some(msg) = self.out_pending.front().copied() {
-            if self.link.send_to_cpu(msg.wire_bytes(), msg).is_err() {
+            if self
+                .link
+                .send_to_cpu_classed(msg.wire_bytes(), msg, msg.blame_class() as u8)
+                .is_err()
+            {
                 break;
             }
             self.out_pending.pop_front();
         }
         while let Some(&c) = self.resp_pending.front() {
             let msg = SecMsg::NsResp(c);
-            if self.link.send_to_cpu(msg.wire_bytes(), msg).is_err() {
+            if self
+                .link
+                .send_to_cpu_classed(msg.wire_bytes(), msg, msg.blame_class() as u8)
+                .is_err()
+            {
                 break;
             }
             self.resp_pending.pop_front();
+        }
+        // Aggregate blame: CPU-bound messages still waiting for link
+        // capacity, blamed on the head message's class (SD traffic
+        // flushes first, so it is what holds the lane).
+        if let Some(res) = self.out_blame_res {
+            let n = (self.out_pending.len() + self.resp_pending.len()) as u64;
+            if n > 0 {
+                if let Some(obs) = &self.obs {
+                    let head = self
+                        .out_pending
+                        .front()
+                        .map_or(doram_obs::BlameClass::NsApp, |m| m.blame_class());
+                    let mut rec = obs.borrow_mut();
+                    rec.blame.wait(res, head, n);
+                    rec.blame.delay(res, n);
+                }
+            }
         }
     }
 }
@@ -1719,7 +1813,10 @@ impl Snapshot for SecureChannel {
             pending_rebuild,
             parity: _,      // config
             scrub_every: _, // config
-            obs: _, // re-wired by the host after restore
+            obs: _,              // re-wired by the host after restore
+            mc_blame_res: _,     // ditto
+            out_blame_res: _,    // ditto
+            verify_blame_res: _, // ditto
         } = self;
         link.save_state_with(w, put_sec_msg);
         w.put_usize(subs.len());

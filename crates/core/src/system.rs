@@ -17,7 +17,7 @@ use crate::secure_channel::{
 };
 use doram_cpu::{CoreConfig, MemoryPort, TraceCore};
 use doram_dram::{Completion, MemOp, MemRequest, RequestClass};
-use doram_obs::{CoreStall, SharedRecorder, StallDump};
+use doram_obs::{CoreStall, SharedRecorder, StallDump, Subsystem};
 use doram_oram::plan::PlanConfig;
 use doram_oram::split::SplitConfig;
 use doram_oram::tree::TreeGeometry;
@@ -582,6 +582,15 @@ struct MemoryState {
     ns_read_histogram: Histogram,
     /// Read ids completed this cycle, to deliver to cores.
     ready_reads: Vec<(usize, RequestId)>,
+    /// Trace recorder for the channel-mux blame rows below; `None` keeps
+    /// `tick_memory` silent.
+    obs: Option<SharedRecorder>,
+    /// Blame row for split operations waiting on normal-channel capacity
+    /// (`cpu.mux.split`), registered by `wire_obs`.
+    mux_split_res: Option<usize>,
+    /// Blame row for fetched split blocks waiting on secure-link capacity
+    /// (`cpu.mux.deliver`).
+    mux_deliver_res: Option<usize>,
 }
 
 impl MemoryState {
@@ -605,6 +614,9 @@ impl Snapshot for MemoryState {
             per_app_read_latency,
             ns_read_histogram,
             ready_reads,
+            obs: _,             // re-wired by the host after restore
+            mux_split_res: _,   // ditto
+            mux_deliver_res: _, // ditto
         } = self;
         backend.save_state(w);
         idgen.save_state(w);
@@ -812,14 +824,41 @@ pub struct Simulation {
 }
 
 /// Hands the shared recorder to every instrumented component of the
-/// backend. Only the D-ORAM backend is instrumented end to end (the
-/// paper's access path: engine → link → SD → sub-channels); other
-/// schemes keep the recorder for metrics sampling alone.
-fn wire_obs(backend: &mut Backend, obs: &SharedRecorder) {
-    if let Backend::DOram { secure, engine, .. } = backend {
-        secure.set_obs(Some(obs.clone()));
-        engine.set_obs(Some(obs.clone()));
+/// backend: the D-ORAM access path end to end (engine → secure link →
+/// SD → sub-channels), every normal channel (links, SimpleMCs,
+/// sub-channels — the `ch{i}.*` blame rows), and the channel-mux holding
+/// queues of `tick_memory` (`cpu.mux.*`). Safe to call again after a
+/// filter change: blame-row registration re-evaluates against the
+/// recorder's current subsystem mask.
+fn wire_obs(mem: &mut MemoryState, obs: &SharedRecorder) {
+    match &mut mem.backend {
+        Backend::Plain { fabric }
+        | Backend::BaselineOram { fabric, .. }
+        | Backend::SecMem { fabric, .. } => fabric.set_obs(Some(obs.clone())),
+        Backend::DOram {
+            normals,
+            secure,
+            engine,
+            ..
+        } => {
+            secure.set_obs(Some(obs.clone()));
+            engine.set_obs(Some(obs.clone()));
+            normals.set_obs(Some(obs.clone()));
+        }
     }
+    let is_doram = matches!(mem.backend, Backend::DOram { .. });
+    let mut rows = (None, None);
+    {
+        let mut rec = obs.borrow_mut();
+        if is_doram && rec.wants(Subsystem::Engine) {
+            rows = (
+                Some(rec.blame.resource("cpu.mux.split")),
+                Some(rec.blame.resource("cpu.mux.deliver")),
+            );
+        }
+    }
+    (mem.mux_split_res, mem.mux_deliver_res) = rows;
+    mem.obs = Some(obs.clone());
 }
 
 impl Simulation {
@@ -973,6 +1012,9 @@ impl Simulation {
             per_app_read_latency: vec![RunningMean::new(); n_cores],
             ns_read_histogram: Histogram::new(8, 256),
             ready_reads: Vec::new(),
+            obs: None,
+            mux_split_res: None,
+            mux_deliver_res: None,
         };
 
         Ok(Simulation {
@@ -998,15 +1040,19 @@ impl Simulation {
         filter: u8,
         metrics_every: u64,
     ) -> SharedRecorder {
-        if let Some(obs) = &self.obs {
-            let mut rec = obs.borrow_mut();
-            rec.set_filter(filter);
-            rec.metrics.set_every(metrics_every);
-            drop(rec);
+        if let Some(obs) = &self.obs.clone() {
+            {
+                let mut rec = obs.borrow_mut();
+                rec.set_filter(filter);
+                rec.metrics.set_every(metrics_every);
+            }
+            // Re-wire: blame-row registration is gated on the subsystem
+            // filter at attach time, so a filter change must propagate.
+            wire_obs(&mut self.mem, obs);
             return obs.clone();
         }
         let obs = doram_obs::Recorder::shared(ring_capacity, filter, metrics_every);
-        wire_obs(&mut self.mem.backend, &obs);
+        wire_obs(&mut self.mem, &obs);
         self.obs = Some(obs.clone());
         obs
     }
@@ -1177,7 +1223,7 @@ impl Simulation {
                 )
             });
             rec.borrow_mut().load_state(&mut r)?;
-            wire_obs(&mut mem.backend, &rec);
+            wire_obs(mem, &rec);
             *obs = Some(rec);
         }
         r.finish()
@@ -1407,6 +1453,16 @@ impl Simulation {
         }
         let mut last_progress = self.progress_stamp();
         let mut last_progress_cycle = self.cycle;
+        // Host self-profiler: wall-clock throughput plus a strided sample
+        // of where host time goes. Never checkpointed; purely diagnostic.
+        let prof_ids = self.obs.as_ref().map(|obs| {
+            let mut rec = obs.borrow_mut();
+            rec.prof.begin_segment();
+            (
+                rec.prof.component("cpu.step"),
+                rec.prof.component("memory.tick"),
+            )
+        });
         loop {
             let m = self.cycle;
             if m >= cap {
@@ -1476,6 +1532,9 @@ impl Simulation {
                 eprintln!("[m={m}] retired={retired:?} {oram}");
             }
             let now = MemCycle(m);
+            let prof_now = prof_ids
+                .filter(|_| doram_obs::SelfProfiler::sample_due(m))
+                .map(|ids| (ids, std::time::Instant::now()));
 
             // CPU: 4 cycles per memory cycle.
             for _ in 0..CPU_CYCLES_PER_MEM_CYCLE {
@@ -1491,9 +1550,19 @@ impl Simulation {
                     self.cores[core_idx].core.step(&mut port);
                 }
             }
+            let prof_cpu_done =
+                prof_now.map(|(ids, t0)| (ids, t0.elapsed(), std::time::Instant::now()));
 
             // Memory side.
             tick_memory(&mut self.mem, now);
+            if let (Some(((cpu_id, mem_id), cpu_cost, mem_t0)), Some(obs)) =
+                (prof_cpu_done, &self.obs)
+            {
+                let mem_cost = mem_t0.elapsed();
+                let mut rec = obs.borrow_mut();
+                rec.prof.charge(cpu_id, cpu_cost);
+                rec.prof.charge(mem_id, mem_cost);
+            }
             self.sample_metrics(m);
 
             // Deliver read completions to cores.
@@ -1534,6 +1603,11 @@ impl Simulation {
                 break;
             }
             self.cycle += 1;
+        }
+        if let (Some(_), Some(obs)) = (prof_ids, &self.obs) {
+            obs.borrow_mut()
+                .prof
+                .end_segment(self.cycle + 1 - start_cycle);
         }
         // Escalate exhausted SD integrity recovery: unauthenticated data
         // may have been served, so the run's results cannot be trusted.
@@ -1775,6 +1849,9 @@ fn tick_memory(mem: &mut MemoryState, now: MemCycle) {
         ns_write_latency,
         per_app_read_latency,
         ns_read_histogram,
+        obs,
+        mux_split_res,
+        mux_deliver_res,
         ..
     } = mem;
     let mut rec = Recorder {
@@ -1890,6 +1967,22 @@ fn tick_memory(mem: &mut MemoryState, now: MemCycle) {
                     Err(_) => break,
                 }
             }
+            // Aggregate blame: split operations still held behind a full
+            // normal channel waited this cycle, blamed on the head's class
+            // (read fetches are the S-App's critical path; writes its
+            // background writebacks).
+            if let Some(res) = *mux_split_res {
+                if let (Some(&(_, op)), Some(obs)) = (pending_split.front(), &*obs) {
+                    let cls = match op {
+                        MemOp::Read => doram_obs::BlameClass::SAppRead,
+                        MemOp::Write => doram_obs::BlameClass::SAppWriteback,
+                    };
+                    let n = pending_split.len() as u64;
+                    let mut rec = obs.borrow_mut();
+                    rec.blame.wait(res, cls, n);
+                    rec.blame.delay(res, n);
+                }
+            }
 
             // Normal channels.
             normals.tick(now, &mut completions);
@@ -1911,6 +2004,16 @@ fn tick_memory(mem: &mut MemoryState, now: MemCycle) {
                         pending_deliver.pop_front();
                     }
                     Err(_) => break,
+                }
+            }
+            // Aggregate blame: fetched blocks still waiting for secure-link
+            // capacity are on the S-App's read critical path.
+            if let Some(res) = *mux_deliver_res {
+                if let (false, Some(obs)) = (pending_deliver.is_empty(), &*obs) {
+                    let n = pending_deliver.len() as u64;
+                    let mut rec = obs.borrow_mut();
+                    rec.blame.wait(res, doram_obs::BlameClass::SAppRead, n);
+                    rec.blame.delay(res, n);
                 }
             }
 

@@ -1,0 +1,129 @@
+//! Property tests for the interference blame matrix: for any seeded
+//! sub-threshold fault plan — link corruption/drops plus a bounded
+//! MAC-forgery burst on a secure sub-channel — a traced D-ORAM co-run
+//! keeps the telescoping invariant *exactly*: on every shared resource
+//! the per-class attributed wait cycles sum to the independently
+//! accumulated queueing delay, and the report built from the matrix
+//! round-trips through its JSON encoding unchanged.
+
+use doram_core::secure_channel::SD_SUB_SITE_BASE;
+use doram_core::system::Simulation;
+use doram_core::{Scheme, SystemConfig};
+use doram_obs::{InterferenceReport, FILTER_ALL};
+use doram_sim::fault::{FaultPlan, FaultRates, FaultWindow};
+use doram_sim::MemCycle;
+use doram_trace::Benchmark;
+use proptest::prelude::*;
+
+/// A small D-ORAM co-run that still exercises every instrumented
+/// contention point (engine mux, serial links, SD holding buffers,
+/// secure and normal sub-channels) in well under a second.
+fn config(seed: u64, plan: FaultPlan) -> SystemConfig {
+    SystemConfig::builder(Benchmark::Libq)
+        .scheme(Scheme::DOram { k: 0, c: 7 })
+        .ns_accesses(150)
+        .seed(seed)
+        .tree_l_max(10)
+        .parity(true)
+        .scrub_every(5_000)
+        .fault_plan(plan)
+        .max_mem_cycles(50_000_000)
+        .build()
+        .unwrap()
+}
+
+/// Sub-threshold link noise everywhere, plus a bounded forgery burst on
+/// secure sub-channel 1 so integrity refetches and parity rebuilds show
+/// up as their own blame classes.
+fn plan(seed: u64, corrupt_ppm: u32, drop_ppm: u32, forge_ppm: u32) -> FaultPlan {
+    FaultPlan::with_rates(
+        seed,
+        FaultRates {
+            corrupt_ppm,
+            drop_ppm,
+            ..FaultRates::none()
+        },
+    )
+    .site_window(
+        SD_SUB_SITE_BASE + 1,
+        FaultWindow {
+            start: MemCycle(5_000),
+            end: MemCycle(25_000),
+            rates: FaultRates {
+                forge_mac_ppm: forge_ppm,
+                ..FaultRates::none()
+            },
+        },
+    )
+}
+
+fn traced_report(seed: u64, p: FaultPlan) -> InterferenceReport {
+    let mut sim = Simulation::new(config(seed, p)).unwrap();
+    let rec = sim.enable_tracing(1 << 16, FILTER_ALL, 2_000);
+    sim.run().unwrap();
+    let rec = rec.borrow();
+    // The raw matrix conserves...
+    if let Err((name, attributed, delay)) = rec.blame.check_conservation() {
+        panic!("'{name}': attributed {attributed} != queue delay {delay}");
+    }
+    InterferenceReport::from_recorder(&rec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Under any sub-threshold fault plan the blame matrix telescopes:
+    /// every resource's attributed waits equal its queueing delay, no
+    /// cycle is double-counted or lost, and the JSON encoding is lossless.
+    #[test]
+    fn blame_conserves_under_fault_plans(
+        seed in 0u64..500,
+        corrupt_ppm in 0u32..40_000,
+        drop_ppm in 0u32..20_000,
+        forge_ppm in 0u32..200_000,
+    ) {
+        let rep = traced_report(seed, plan(seed, corrupt_ppm, drop_ppm, forge_ppm));
+        // ... and so does the report built from it.
+        prop_assert!(rep.check_conservation().is_ok());
+        prop_assert!(!rep.blame.is_empty(), "a co-run must register resources");
+        let delay: u64 = rep.blame.iter().map(|r| r.queue_delay).sum();
+        let attributed: u64 = rep.blame.iter().map(|r| r.waits.iter().sum::<u64>()).sum();
+        prop_assert_eq!(attributed, delay);
+        prop_assert!(delay > 0, "a contended co-run must queue somewhere");
+        // The encoding preserves the matrix exactly (every count is an
+        // integer); float means are printed to three decimals, so they
+        // round-trip to within that precision. The CI schema check and
+        // baseline compare both depend on this.
+        let back = InterferenceReport::from_json(&rep.to_json()).unwrap();
+        prop_assert_eq!(&back.blame, &rep.blame);
+        let close = |b: &doram_obs::interference::QuantileSummary,
+                     r: &doram_obs::interference::QuantileSummary| {
+            b.count == r.count
+                && b.quantiles == r.quantiles
+                && b.min == r.min
+                && b.max == r.max
+                && (b.mean - r.mean).abs() < 1e-3
+        };
+        match (&back.access, &rep.access) {
+            (Some(b), Some(r)) => prop_assert!(close(b, r)),
+            (b, r) => prop_assert_eq!(b.is_some(), r.is_some()),
+        }
+        prop_assert_eq!(back.classes.len(), rep.classes.len());
+        for ((bn, bs), (rn, rs)) in back.classes.iter().zip(&rep.classes) {
+            prop_assert_eq!(bn, rn);
+            prop_assert!(close(bs, rs), "class '{}' drifted through JSON", rn);
+        }
+    }
+}
+
+/// The blame schedule is a pure function of the configuration: the same
+/// seeded fault plan yields bit-identical matrices run-over-run (the
+/// property the checked-in bench baseline relies on).
+#[test]
+fn blame_is_deterministic_for_a_fixed_seed() {
+    let a = traced_report(7, plan(7, 25_000, 10_000, 120_000));
+    let b = traced_report(7, plan(7, 25_000, 10_000, 120_000));
+    assert_eq!(a.blame, b.blame);
+    assert_eq!(a.access, b.access);
+    assert_eq!(a.classes, b.classes);
+}

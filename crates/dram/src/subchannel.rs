@@ -81,6 +81,13 @@ struct Pending {
     /// Set once row management was performed on this request's behalf; used
     /// for row-hit accounting.
     managed: bool,
+    /// Interference blame class ([`doram_obs::BlameClass`] tag).
+    blame: u8,
+    /// Cycle the request entered the queue (wait = issue − enq).
+    enq: u64,
+    /// The resource's per-class busy prefix at enqueue time; settling
+    /// differences the current prefix against this.
+    busy_snap: [u64; doram_obs::BLAME_CLASSES],
 }
 
 /// An issued column command waiting for its data burst to finish.
@@ -88,6 +95,8 @@ struct Pending {
 struct InFlight {
     req: MemRequest,
     finish: MemCycle,
+    /// Blame class tag carried through to service-latency recording.
+    blame: u8,
 }
 
 /// One rank of DRAM banks with scheduler and buses. See the
@@ -124,6 +133,13 @@ pub struct SubChannel {
     /// Trace recorder plus this sub-channel's index in the trace; `None`
     /// (the default) keeps the hot path silent.
     obs: Option<(doram_obs::SharedRecorder, u64)>,
+    /// This sub-channel's row in the recorder's blame matrix, registered
+    /// at `set_obs` time. `None` whenever blame attribution is off (no
+    /// recorder, or the filter excludes the DRAM subsystem), which keeps
+    /// the per-tick cost at one branch.
+    blame_res: Option<usize>,
+    /// Blame class tag of the burst currently owning the data bus.
+    last_burst_blame: u8,
 }
 
 impl SubChannel {
@@ -163,12 +179,35 @@ impl SubChannel {
             command_trace: None,
             stall_cycles: 0,
             obs: None,
+            blame_res: None,
+            last_burst_blame: doram_obs::BlameClass::NsApp as u8,
         }
     }
 
     /// Attaches (or detaches) a trace recorder; ORAM-class requests emit
-    /// `dram_issue`/`dram_done` events tagged with `sub_idx`.
+    /// `dram_issue`/`dram_done` events tagged with `sub_idx`, and (when
+    /// the DRAM subsystem passes the filter) queue waits are attributed
+    /// in the blame matrix under the resource name `sd.sub{sub_idx}`.
     pub fn set_obs(&mut self, rec: Option<doram_obs::SharedRecorder>, sub_idx: u64) {
+        let name = format!("sd.sub{sub_idx}");
+        self.set_obs_named(rec, sub_idx, &name);
+    }
+
+    /// Like [`set_obs`], but registering the blame-matrix row under an
+    /// explicit `resource` name (normal BOB channels use `ch{i}.sub{j}`).
+    ///
+    /// [`set_obs`]: SubChannel::set_obs
+    pub fn set_obs_named(
+        &mut self,
+        rec: Option<doram_obs::SharedRecorder>,
+        sub_idx: u64,
+        resource: &str,
+    ) {
+        self.blame_res = rec.as_ref().and_then(|r| {
+            let mut r = r.borrow_mut();
+            r.wants(doram_obs::Subsystem::Dram)
+                .then(|| r.blame.resource(resource))
+        });
         self.obs = rec.map(|r| (r, sub_idx));
     }
 
@@ -240,6 +279,17 @@ impl SubChannel {
         self.write_q.len() < self.cfg.write_queue
     }
 
+    /// Blame class a request maps to absent an explicit tag: normal
+    /// traffic is the NS-App co-runner; ORAM reads are the S-App's
+    /// latency-critical path, ORAM writes its background writebacks.
+    pub fn blame_class_of(req: &MemRequest) -> doram_obs::BlameClass {
+        match (req.class, req.op) {
+            (RequestClass::Normal, _) => doram_obs::BlameClass::NsApp,
+            (RequestClass::Oram, MemOp::Read) => doram_obs::BlameClass::SAppRead,
+            (RequestClass::Oram, MemOp::Write) => doram_obs::BlameClass::SAppWriteback,
+        }
+    }
+
     /// Enqueues a request.
     ///
     /// # Errors
@@ -247,6 +297,22 @@ impl SubChannel {
     /// Returns the request back when the corresponding queue is full, so the
     /// issuer can model back-pressure.
     pub fn enqueue(&mut self, req: MemRequest) -> Result<(), MemRequest> {
+        let blame = Self::blame_class_of(&req) as u8;
+        self.enqueue_tagged(req, blame)
+    }
+
+    /// Enqueues a request under an explicit blame class tag: the secure
+    /// channel uses this to mark scrub/rebuild reads ([`ScrubParity`])
+    /// and detection-triggered refetches ([`IntegrityVerify`]) that are
+    /// indistinguishable from ordinary ORAM traffic at this layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back when the corresponding queue is full.
+    ///
+    /// [`ScrubParity`]: doram_obs::BlameClass::ScrubParity
+    /// [`IntegrityVerify`]: doram_obs::BlameClass::IntegrityVerify
+    pub fn enqueue_tagged(&mut self, req: MemRequest, blame: u8) -> Result<(), MemRequest> {
         let full = match req.op {
             MemOp::Read => self.read_q.len() >= self.cfg.read_queue,
             MemOp::Write => self.write_q.len() >= self.cfg.write_queue,
@@ -255,12 +321,19 @@ impl SubChannel {
             return Err(req);
         }
         let d = self.cfg.mapper.decode(req.addr);
+        let busy_snap = match (self.blame_res, &self.obs) {
+            (Some(res), Some((rec, _))) => rec.borrow().blame.busy_snapshot(res),
+            _ => [0; doram_obs::BLAME_CLASSES],
+        };
         let p = Pending {
             req,
             bank: d.bank,
             row: d.row,
             col: d.col,
             managed: false,
+            blame,
+            enq: req.arrival.0,
+            busy_snap,
         };
         match req.op {
             MemOp::Read => self.read_q.push_back(p),
@@ -281,6 +354,21 @@ impl SubChannel {
         if self.data_busy_until > now {
             self.stats.data_bus_busy.inc();
         }
+        // Advance the blame busy prefix for the *previous* cycle: the data
+        // bus was busy during cycle `now − 1` iff a burst finishes at or
+        // after `now`. Waiters snapshot this prefix on enqueue and settle
+        // against it on issue; settling clamps, so the ±1-cycle overlap at
+        // the boundary can never over-attribute.
+        if let Some(res) = self.blame_res {
+            if self.last_burst_op.is_some() && self.data_busy_until >= now {
+                if let Some((rec, _)) = &self.obs {
+                    rec.borrow_mut().blame.busy_cycle(
+                        res,
+                        doram_obs::BlameClass::from_tag(self.last_burst_blame),
+                    );
+                }
+            }
+        }
 
         // Retire finished bursts.
         let mut i = 0;
@@ -292,9 +380,16 @@ impl SubChannel {
                     MemOp::Read => self.stats.read_latency.record(lat),
                     MemOp::Write => self.stats.write_latency.record(lat),
                 }
-                if f.req.class == RequestClass::Oram {
-                    if let Some((rec, sub_idx)) = &self.obs {
-                        rec.borrow_mut().dram_done(f.finish.0, *sub_idx);
+                if let Some((rec, sub_idx)) = &self.obs {
+                    let mut rec = rec.borrow_mut();
+                    if f.req.class == RequestClass::Oram {
+                        rec.dram_done(f.finish.0, *sub_idx);
+                    }
+                    if self.blame_res.is_some() {
+                        rec.class_latency(
+                            doram_obs::BlameClass::from_tag(f.blame),
+                            f.finish.0.saturating_sub(f.req.arrival.0),
+                        );
                     }
                 }
                 completed.push(Completion {
@@ -555,6 +650,19 @@ impl SubChannel {
 
     /// Issues a READ or WRITE column command for `p` at `now`.
     fn issue_column(&mut self, p: Pending, now: MemCycle) {
+        // Settle the request's queueing wait: busy cycles observed since
+        // its enqueue snapshot are blamed on the occupying classes, the
+        // idle remainder (bank timing, refresh) on its own class.
+        if let Some(res) = self.blame_res {
+            if let Some((rec, _)) = &self.obs {
+                rec.borrow_mut().blame.settle(
+                    res,
+                    doram_obs::BlameClass::from_tag(p.blame),
+                    now.0.saturating_sub(p.enq),
+                    &p.busy_snap,
+                );
+            }
+        }
         let t = self.cfg.timing;
         let (start, op) = match p.req.op {
             MemOp::Read => (now + MemCycle(t.cl), MemOp::Read),
@@ -597,7 +705,12 @@ impl SubChannel {
         self.data_busy_until = finish;
         self.last_burst_op = Some(op);
         self.last_burst_end = finish;
-        self.in_flight.push(InFlight { req: p.req, finish });
+        self.last_burst_blame = p.blame;
+        self.in_flight.push(InFlight {
+            req: p.req,
+            finish,
+            blame: p.blame,
+        });
         let _ = p.col; // column index participates only through the mapper
     }
 }
@@ -609,24 +722,39 @@ fn put_pending(w: &mut doram_sim::snapshot::SnapshotWriter, p: &Pending) {
         row,
         col,
         managed,
+        blame,
+        enq,
+        busy_snap,
     } = p;
     crate::request::put_mem_request(w, req);
     w.put_usize(*bank);
     w.put_u64(*row);
     w.put_u64(*col);
     w.put_bool(*managed);
+    w.put_u8(*blame);
+    w.put_u64(*enq);
+    for &v in busy_snap {
+        w.put_u64(v);
+    }
 }
 
 fn get_pending(
     r: &mut doram_sim::snapshot::SnapshotReader<'_>,
 ) -> Result<Pending, doram_sim::snapshot::SnapshotError> {
-    Ok(Pending {
+    let mut p = Pending {
         req: crate::request::get_mem_request(r)?,
         bank: r.get_usize()?,
         row: r.get_u64()?,
         col: r.get_u64()?,
         managed: r.get_bool()?,
-    })
+        blame: r.get_u8()?,
+        enq: r.get_u64()?,
+        busy_snap: [0; doram_obs::BLAME_CLASSES],
+    };
+    for v in p.busy_snap.iter_mut() {
+        *v = r.get_u64()?;
+    }
+    Ok(p)
 }
 
 impl doram_sim::snapshot::Snapshot for SubChannel {
@@ -655,7 +783,9 @@ impl doram_sim::snapshot::Snapshot for SubChannel {
             auto_precharge,
             command_trace: _,
             stall_cycles,
-            obs: _, // re-wired by the host after restore
+            obs: _,       // re-wired by the host after restore
+            blame_res: _, // re-registered by set_obs after restore
+            last_burst_blame,
         } = self;
         cfg.arbiter.save_state(w);
         w.put_usize(banks.len());
@@ -674,9 +804,10 @@ impl doram_sim::snapshot::Snapshot for SubChannel {
         // the schedule — serialize in current order.
         w.put_usize(in_flight.len());
         for f in in_flight {
-            let InFlight { req, finish } = f;
+            let InFlight { req, finish, blame } = f;
             crate::request::put_mem_request(w, req);
             w.put_u64(finish.0);
+            w.put_u8(*blame);
         }
         stats.save_state(w);
         w.put_u64(data_busy_until.0);
@@ -716,6 +847,7 @@ impl doram_sim::snapshot::Snapshot for SubChannel {
             w.put_usize(bank);
         }
         w.put_u64(*stall_cycles);
+        w.put_u8(*last_burst_blame);
     }
 
     fn load_state(
@@ -746,7 +878,8 @@ impl doram_sim::snapshot::Snapshot for SubChannel {
         for _ in 0..r.get_usize()? {
             let req = crate::request::get_mem_request(r)?;
             let finish = MemCycle(r.get_u64()?);
-            self.in_flight.push(InFlight { req, finish });
+            let blame = r.get_u8()?;
+            self.in_flight.push(InFlight { req, finish, blame });
         }
         self.stats.load_state(r)?;
         self.data_busy_until = MemCycle(r.get_u64()?);
@@ -780,6 +913,7 @@ impl doram_sim::snapshot::Snapshot for SubChannel {
             self.auto_precharge.push(r.get_usize()?);
         }
         self.stall_cycles = r.get_u64()?;
+        self.last_burst_blame = r.get_u8()?;
         Ok(())
     }
 }
@@ -1068,6 +1202,63 @@ mod tests {
         let dones = events.iter().filter(|e| e.kind == EventKind::DramDone).count();
         assert_eq!((issues, dones), (1, 1), "only the ORAM request traces");
         assert!(events.iter().all(|e| e.value == 3), "tagged with the sub index");
+    }
+
+    #[test]
+    fn blame_attributes_waits_and_conserves() {
+        use doram_obs::{BlameClass, Recorder, FILTER_ALL};
+        let mut sc = SubChannel::new(SubChannelConfig::default());
+        let rec = Recorder::shared(64, FILTER_ALL, 1_000);
+        sc.set_obs(Some(rec.clone()), 0);
+        // Interleave ORAM and normal reads so each class queues behind
+        // the other's bursts.
+        let mut done = Vec::new();
+        let mut id = 0u64;
+        let mut oram_addr = 0u64;
+        let mut norm_addr = 1 << 30;
+        for c in 0..3_000u64 {
+            if c % 6 == 0 && sc.can_accept_read() {
+                let (class, addr) = if id.is_multiple_of(2) {
+                    oram_addr += 64;
+                    (RequestClass::Oram, oram_addr)
+                } else {
+                    norm_addr += 64;
+                    (RequestClass::Normal, norm_addr)
+                };
+                let mut r = req(id, MemOp::Read, addr, c);
+                r.class = class;
+                sc.enqueue(r).unwrap();
+                id += 1;
+            }
+            sc.tick(MemCycle(c), &mut done);
+        }
+        let rec = rec.borrow();
+        rec.blame.check_conservation().expect("waits telescope to delay");
+        let row = &rec.blame.resources()[0];
+        assert_eq!(row.name, "sd.sub0");
+        assert!(row.queue_delay > 0, "contended run must record queueing delay");
+        // Cross-class interference shows up: the normal co-runner gets
+        // blamed for some of the S-App's waiting (and vice versa).
+        assert!(
+            row.waits[BlameClass::NsApp as usize] > 0
+                && row.waits[BlameClass::SAppRead as usize] > 0,
+            "expected cross-class blame, got {:?}",
+            row.waits
+        );
+        // Service latency feeds the per-class histograms.
+        assert!(rec.class_histogram(BlameClass::SAppRead).count() > 0);
+        assert!(rec.class_histogram(BlameClass::NsApp).count() > 0);
+    }
+
+    #[test]
+    fn blame_is_off_when_filter_excludes_dram() {
+        use doram_obs::{parse_filter, Recorder};
+        let mut sc = SubChannel::new(SubChannelConfig::default());
+        let rec = Recorder::shared(64, parse_filter("sd").unwrap(), 1_000);
+        sc.set_obs(Some(rec.clone()), 0);
+        sc.enqueue(req(0, MemOp::Read, 0, 0)).unwrap();
+        run_until_n(&mut sc, 1, 1000);
+        assert!(rec.borrow().blame.is_empty(), "filtered-out subsystem stays silent");
     }
 
     #[test]

@@ -159,6 +159,10 @@ pub struct TraceSummary {
     pub mean_integrity: f64,
     /// Mean SD remainder: stash service + controller bookkeeping.
     pub mean_stash: f64,
+    /// Percentile summary of end-to-end access latency (log-bucketed,
+    /// same histogram code as the interference report); `None` when no
+    /// access completed.
+    pub percentiles: Option<crate::interference::QuantileSummary>,
 }
 
 impl TraceSummary {
@@ -173,6 +177,10 @@ impl TraceSummary {
                 complete.iter().map(|s| f(s) as f64).sum::<f64>() / n
             }
         };
+        let mut hist = crate::histogram::LogHistogram::new();
+        for s in &complete {
+            hist.record(s.total_cycles());
+        }
         TraceSummary {
             accesses: complete.len() as u64,
             incomplete: (spans.len() - complete.len()) as u64,
@@ -184,6 +192,7 @@ impl TraceSummary {
             mean_dram: mean(&AccessSpan::dram_cycles),
             mean_integrity: mean(&AccessSpan::integrity_cycles),
             mean_stash: mean(&AccessSpan::stash_cycles),
+            percentiles: crate::interference::QuantileSummary::from_histogram(&hist),
         }
     }
 
@@ -212,6 +221,13 @@ impl fmt::Display for TraceSummary {
             }
         };
         writeln!(f, "mean access latency: {:.1} memory cycles", self.mean_total)?;
+        if let Some(p) = &self.percentiles {
+            let mut line = String::from("percentiles:");
+            for ((name, _), v) in crate::histogram::REPORT_QUANTILES.iter().zip(p.quantiles) {
+                line.push_str(&format!(" {name} {v}"));
+            }
+            writeln!(f, "{line}  (log-bucketed, \u{2264}6.25% relative error)")?;
+        }
         writeln!(f, "  link  {:>10.1}  ({:>5.1}%)", self.mean_link, pct(self.mean_link))?;
         writeln!(
             f,
@@ -628,6 +644,13 @@ mod tests {
         assert_eq!(sum.mean_link, 15.0 + 15.0);
         assert_eq!(sum.mean_dram, 33.0);
         assert_eq!(sum.mean_stash, 40.0 - 33.0);
+        // Both accesses took exactly 70 cycles, so every percentile is 70
+        // and the rendered summary prints them next to the mean.
+        let p = sum.percentiles.as_ref().expect("completed accesses have percentiles");
+        assert_eq!(p.quantiles, [70; 4]);
+        let text = sum.to_string();
+        assert!(text.contains("p50 70"), "{text}");
+        assert!(text.contains("p99 70"), "{text}");
     }
 
     #[test]

@@ -16,6 +16,18 @@
 //! * [`export`] — Chrome trace-event JSON (Perfetto-loadable), JSONL and
 //!   CSV exporters, plus the per-subsystem latency breakdown behind
 //!   `doram-cli trace summarize`.
+//! * [`blame`] — the per-resource, per-requestor-class interference
+//!   blame matrix: every cycle a request waits at a shared resource is
+//!   attributed to the class occupying it, and the per-resource rows
+//!   telescope exactly to total queueing delay.
+//! * [`histogram`] — log-bucketed HDR-style latency histograms behind
+//!   the p50/p95/p99/p999 tables.
+//! * [`selfprof`] — the host-side self-profiler (sim-cycles per wall
+//!   second, per-component tick cost).
+//! * [`interference`] — the interference report assembled from a
+//!   recorder (blame matrix + percentile tables), with JSON round-trip
+//!   and the table renderer behind `doram-cli obs report`.
+//! * [`prometheus`] — Prometheus text-format exporter and line checker.
 //! * [`stall`] — the structured [`StallDump`] carried by the watchdog's
 //!   stall error.
 //! * [`json`] — the small JSON reader the trace tools use (the
@@ -23,14 +35,20 @@
 
 #![warn(missing_docs)]
 
+pub mod blame;
 pub mod event;
 pub mod export;
+pub mod histogram;
+pub mod interference;
 pub mod json;
 pub mod metrics;
+pub mod prometheus;
 pub mod recorder;
 pub mod ring;
+pub mod selfprof;
 pub mod stall;
 
+pub use blame::{BlameClass, BlameMatrix, ResourceBlame, ALL_BLAME_CLASSES, BLAME_CLASSES};
 pub use event::{
     filter_names, parse_filter, Event, EventKind, Subsystem, ALL_SUBSYSTEMS, FILTER_ALL, NO_ACCESS,
 };
@@ -38,7 +56,11 @@ pub use export::{
     chrome_trace_json, metrics_csv, metrics_jsonl, spans_from_events, summarize_file,
     validate_file, write_chrome_trace, AccessSpan, TraceSummary, ValidateReport,
 };
+pub use histogram::{LogHistogram, REPORT_QUANTILES};
+pub use interference::InterferenceReport;
 pub use metrics::{MetricsRegistry, TimeSeries, DEFAULT_METRICS_EVERY};
+pub use prometheus::{prometheus_text, validate_prometheus};
 pub use recorder::{Recorder, SharedRecorder};
 pub use ring::{EventRing, DEFAULT_RING_CAPACITY};
+pub use selfprof::{ComponentCost, SelfProfiler};
 pub use stall::{CoreStall, StallDump};

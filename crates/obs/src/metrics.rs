@@ -29,6 +29,10 @@ pub struct MetricsRegistry {
     every: u64,
     series: Vec<TimeSeries>,
     samples: u64,
+    /// When set, each series keeps only the most recent `window` points
+    /// (a sliding ring): long soak runs get bounded memory and exports
+    /// show the recent trajectory instead of an ever-growing history.
+    window: Option<usize>,
 }
 
 impl MetricsRegistry {
@@ -43,7 +47,26 @@ impl MetricsRegistry {
             every,
             series: Vec::new(),
             samples: 0,
+            window: None,
         }
+    }
+
+    /// Caps each series at the most recent `window` points (`None`
+    /// removes the cap). A run-option like `every`: not checkpointed —
+    /// points already saved stay saved, and a resumed run re-applies its
+    /// own window on the next sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is `Some(0)`.
+    pub fn set_window(&mut self, window: Option<usize>) {
+        assert!(window != Some(0), "metrics window must hold at least one point");
+        self.window = window;
+    }
+
+    /// The configured sliding-window cap, if any.
+    pub fn window(&self) -> Option<usize> {
+        self.window
     }
 
     /// The sampling interval in memory cycles.
@@ -80,10 +103,18 @@ impl MetricsRegistry {
         }
     }
 
-    /// Appends one sample point per registered series at `cycle`.
+    /// Appends one sample point per registered series at `cycle`,
+    /// truncating the oldest points past the sliding window, if one is
+    /// configured.
     pub fn sample(&mut self, cycle: u64) {
         for s in &mut self.series {
             s.points.push((cycle, s.last));
+            if let Some(w) = self.window {
+                if s.points.len() > w {
+                    let excess = s.points.len() - w;
+                    s.points.drain(..excess);
+                }
+            }
         }
         self.samples += 1;
     }
@@ -111,7 +142,8 @@ impl MetricsRegistry {
 impl Snapshot for MetricsRegistry {
     fn save_state(&self, w: &mut SnapshotWriter) {
         let MetricsRegistry {
-            every: _, // run-option, not dynamic state
+            every: _,  // run-option, not dynamic state
+            window: _, // run-option, not dynamic state
             series,
             samples,
         } = self;
@@ -163,6 +195,29 @@ mod tests {
         assert_eq!(reg.series()[0].points, vec![(0, 1.0), (100, 3.0)]);
         assert_eq!(reg.series()[1].points, vec![(0, 2.0), (100, 2.0)]);
         assert_eq!(reg.samples_taken(), 2);
+    }
+
+    #[test]
+    fn window_keeps_only_recent_points() {
+        let mut reg = MetricsRegistry::new(10);
+        reg.set_window(Some(3));
+        assert_eq!(reg.window(), Some(3));
+        reg.set("x", 0.0);
+        for i in 0..6u64 {
+            reg.set("x", i as f64);
+            reg.sample(i * 10);
+        }
+        assert_eq!(
+            reg.series()[0].points,
+            vec![(30, 3.0), (40, 4.0), (50, 5.0)],
+            "only the last 3 points survive"
+        );
+        assert_eq!(reg.samples_taken(), 6, "the sample count keeps history");
+        // Removing the cap stops truncation.
+        reg.set_window(None);
+        reg.set("x", 9.0);
+        reg.sample(60);
+        assert_eq!(reg.series()[0].points.len(), 4);
     }
 
     #[test]

@@ -16,9 +16,12 @@
 //! read-phase completion and the *n*-th response. Dummy jobs occupy ids
 //! in the same sequence so real ids stay aligned across both sides.
 
+use crate::blame::{BlameClass, BlameMatrix, BLAME_CLASSES};
 use crate::event::{Event, EventKind, Subsystem, NO_ACCESS};
+use crate::histogram::LogHistogram;
 use crate::metrics::MetricsRegistry;
 use crate::ring::EventRing;
+use crate::selfprof::SelfProfiler;
 use doram_sim::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -55,6 +58,19 @@ pub struct Recorder {
     seq: AccessSeq,
     /// The metrics registry sampled by the simulation driver.
     pub metrics: MetricsRegistry,
+    /// Per-resource interference blame (see [`crate::blame`]).
+    pub blame: BlameMatrix,
+    /// End-to-end latency of real S-App accesses (engine send → engine
+    /// response), log-bucketed for percentile reporting.
+    hist_access: LogHistogram,
+    /// Per-class DRAM service latency (arrival → burst finish), indexed
+    /// by [`BlameClass`] tag.
+    hist_class: [LogHistogram; BLAME_CLASSES],
+    /// Send cycles of in-flight engine jobs: `(cycle, real)`, FIFO — the
+    /// serial link preserves order, so responses pop from the front.
+    inflight_sends: VecDeque<(u64, bool)>,
+    /// Host-side self-profiler (wall-clock; never checkpointed).
+    pub prof: SelfProfiler,
 }
 
 impl Recorder {
@@ -67,6 +83,11 @@ impl Recorder {
             filter,
             seq: AccessSeq::default(),
             metrics: MetricsRegistry::new(metrics_every),
+            blame: BlameMatrix::default(),
+            hist_access: LogHistogram::new(),
+            hist_class: std::array::from_fn(|_| LogHistogram::new()),
+            inflight_sends: VecDeque::new(),
+            prof: SelfProfiler::default(),
         }
     }
 
@@ -115,6 +136,7 @@ impl Recorder {
     pub fn engine_send(&mut self, cycle: u64, real: bool) -> u64 {
         let id = self.seq.engine_sent;
         self.seq.engine_sent += 1;
+        self.inflight_sends.push_back((cycle, real));
         let kind = if real { EventKind::AccessBegin } else { EventKind::DummyIssued };
         self.push(Subsystem::Engine, kind, cycle, id, 0);
         id
@@ -124,10 +146,34 @@ impl Recorder {
     pub fn engine_response(&mut self, cycle: u64, real: bool) -> u64 {
         let id = self.seq.engine_resp;
         self.seq.engine_resp += 1;
+        if let Some((sent, sent_real)) = self.inflight_sends.pop_front() {
+            // Only real accesses feed the latency percentile tables;
+            // dummies share the same path and would double-weight it.
+            if real && sent_real {
+                self.hist_access.record(cycle.saturating_sub(sent));
+            }
+        }
         if real {
             self.push(Subsystem::Engine, EventKind::AccessEnd, cycle, id, 0);
         }
         id
+    }
+
+    /// Records one completed request's service latency under its blame
+    /// class (fed by the DRAM sub-channels on burst retirement).
+    #[inline]
+    pub fn class_latency(&mut self, class: BlameClass, cycles: u64) {
+        self.hist_class[class as usize].record(cycles);
+    }
+
+    /// End-to-end latency histogram of real S-App accesses.
+    pub fn access_histogram(&self) -> &LogHistogram {
+        &self.hist_access
+    }
+
+    /// Per-class DRAM service-latency histogram.
+    pub fn class_histogram(&self, class: BlameClass) -> &LogHistogram {
+        &self.hist_class[class as usize]
     }
 
     /// A secure request arrived at the SD; returns its access id.
@@ -248,6 +294,11 @@ impl Snapshot for Recorder {
             filter: _, // run-option, not dynamic state
             seq,
             metrics,
+            blame,
+            hist_access,
+            hist_class,
+            inflight_sends,
+            prof: _, // host wall-clock state: never checkpointed
         } = self;
         ring.save_state(w);
         let AccessSeq {
@@ -271,6 +322,16 @@ impl Snapshot for Recorder {
         w.put_u64(*sd_read_done);
         w.put_u64(*sd_access_done);
         metrics.save_state(w);
+        blame.save_state(w);
+        hist_access.save_state(w);
+        for h in hist_class {
+            h.save_state(w);
+        }
+        w.put_usize(inflight_sends.len());
+        for (cycle, real) in inflight_sends {
+            w.put_u64(*cycle);
+            w.put_bool(*real);
+        }
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
@@ -287,7 +348,19 @@ impl Snapshot for Recorder {
         self.seq.sd_current = r.get_u64()?;
         self.seq.sd_read_done = r.get_u64()?;
         self.seq.sd_access_done = r.get_u64()?;
-        self.metrics.load_state(r)
+        self.metrics.load_state(r)?;
+        self.blame.load_state(r)?;
+        self.hist_access.load_state(r)?;
+        for h in self.hist_class.iter_mut() {
+            h.load_state(r)?;
+        }
+        self.inflight_sends.clear();
+        for _ in 0..r.get_usize()? {
+            let cycle = r.get_u64()?;
+            let real = r.get_bool()?;
+            self.inflight_sends.push_back((cycle, real));
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,169 @@
+//! Host-side self-profiler: how fast is the simulator itself?
+//!
+//! Records wall-clock throughput (simulated cycles per wall second) and a
+//! sampled per-component tick-cost breakdown — the before/after evidence
+//! a performance rewrite of the simulation core needs. Component costs
+//! are sampled with a stride (one timed tick every
+//! [`SelfProfiler::DEFAULT_STRIDE`]) so the profiler itself stays far
+//! below the recorder-overhead budget; the per-cycle estimates scale the
+//! samples back up.
+//!
+//! Everything here is host-dependent (wall time), so none of it rides in
+//! checkpoints: a resumed run restarts its profile from zero.
+
+use std::time::{Duration, Instant};
+
+/// Cost accumulator for one named component (e.g. `"cpu.step"`,
+/// `"memory.tick"`).
+#[derive(Debug, Clone)]
+pub struct ComponentCost {
+    /// Stable component name.
+    pub name: String,
+    /// Timed samples taken.
+    pub samples: u64,
+    /// Wall nanoseconds across the timed samples.
+    pub nanos: u64,
+}
+
+impl ComponentCost {
+    /// Mean wall nanoseconds per timed sample.
+    pub fn nanos_per_sample(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.nanos as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Wall-clock throughput and per-component tick cost. See module docs.
+#[derive(Debug, Clone, Default)]
+pub struct SelfProfiler {
+    /// Wall time accumulated across finished run segments.
+    wall: Duration,
+    /// Simulated cycles covered by `wall`.
+    cycles: u64,
+    /// Start of the currently running segment, if any.
+    running_since: Option<Instant>,
+    components: Vec<ComponentCost>,
+}
+
+impl SelfProfiler {
+    /// Default sampling stride drivers should use: time one tick out of
+    /// every 64. Power of two so the due-check is a mask.
+    pub const DEFAULT_STRIDE: u64 = 64;
+
+    /// Whether a cycle is due for component timing under the default
+    /// stride.
+    #[inline]
+    pub fn sample_due(cycle: u64) -> bool {
+        cycle & (Self::DEFAULT_STRIDE - 1) == 0
+    }
+
+    /// Marks the start of a run segment. Idempotent while running.
+    pub fn begin_segment(&mut self) {
+        if self.running_since.is_none() {
+            self.running_since = Some(Instant::now());
+        }
+    }
+
+    /// Ends the current run segment, crediting `cycles_advanced`
+    /// simulated cycles to the elapsed wall time.
+    pub fn end_segment(&mut self, cycles_advanced: u64) {
+        if let Some(t0) = self.running_since.take() {
+            self.wall += t0.elapsed();
+            self.cycles += cycles_advanced;
+        }
+    }
+
+    /// Registers (or finds) a component, returning its dense index.
+    pub fn component(&mut self, name: &str) -> usize {
+        if let Some(idx) = self.components.iter().position(|c| c.name == name) {
+            return idx;
+        }
+        self.components.push(ComponentCost {
+            name: name.to_string(),
+            samples: 0,
+            nanos: 0,
+        });
+        self.components.len() - 1
+    }
+
+    /// Charges one timed sample to component `idx`.
+    #[inline]
+    pub fn charge(&mut self, idx: usize, elapsed: Duration) {
+        let c = &mut self.components[idx];
+        c.samples += 1;
+        c.nanos += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    }
+
+    /// Wall seconds covered so far (finished segments only).
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+
+    /// Simulated cycles covered by the finished segments.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Simulated cycles per wall second, if anything was measured.
+    pub fn cycles_per_second(&self) -> Option<f64> {
+        let secs = self.wall.as_secs_f64();
+        (secs > 0.0 && self.cycles > 0).then(|| self.cycles as f64 / secs)
+    }
+
+    /// Component costs, in registration order.
+    pub fn components(&self) -> &[ComponentCost] {
+        &self.components
+    }
+
+    /// Whether anything has been measured.
+    pub fn is_empty(&self) -> bool {
+        self.cycles == 0 && self.components.iter().all(|c| c.samples == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_accumulate() {
+        let mut p = SelfProfiler::default();
+        assert!(p.is_empty());
+        assert_eq!(p.cycles_per_second(), None);
+        p.begin_segment();
+        p.begin_segment(); // idempotent
+        std::thread::sleep(Duration::from_millis(2));
+        p.end_segment(10_000);
+        assert_eq!(p.cycles(), 10_000);
+        assert!(p.wall_seconds() > 0.0);
+        assert!(p.cycles_per_second().unwrap() > 0.0);
+        // Ending without a running segment is a no-op.
+        p.end_segment(5);
+        assert_eq!(p.cycles(), 10_000);
+    }
+
+    #[test]
+    fn components_register_and_charge() {
+        let mut p = SelfProfiler::default();
+        let a = p.component("cpu.step");
+        assert_eq!(p.component("cpu.step"), a);
+        let b = p.component("memory.tick");
+        p.charge(a, Duration::from_nanos(500));
+        p.charge(a, Duration::from_nanos(700));
+        p.charge(b, Duration::from_nanos(100));
+        assert_eq!(p.components()[a].samples, 2);
+        assert_eq!(p.components()[a].nanos, 1200);
+        assert_eq!(p.components()[a].nanos_per_sample(), 600.0);
+        assert_eq!(p.components()[b].samples, 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn stride_mask_hits_every_64th_cycle() {
+        let due: Vec<u64> = (0..256).filter(|&c| SelfProfiler::sample_due(c)).collect();
+        assert_eq!(due, vec![0, 64, 128, 192]);
+    }
+}

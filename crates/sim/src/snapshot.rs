@@ -43,12 +43,18 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"DORAMCKP";
 /// Checkpoint format version. Bumped on any incompatible layout change;
 /// older files are rejected, never misread.
 ///
-/// Version 4 (this build) added the run-epoch counter and the 16-byte
-/// authentication field to the header, and extended several component
-/// payloads with adversarial-fault state; version-3 files are rejected
-/// with [`SnapshotErrorKind::BadVersion`] — re-run from the start rather
-/// than resuming across the format change.
-pub const CHECKPOINT_VERSION: u32 = 4;
+/// Version 4 added the run-epoch counter and the 16-byte authentication
+/// field to the header, and extended several component payloads with
+/// adversarial-fault state.
+///
+/// Version 5 (this build) extended the payloads with the interference
+/// observatory: per-class blame tags and enqueue-time busy snapshots on
+/// queued DRAM/link entries, and the recorder's blame matrix, latency
+/// histograms, and in-flight access ledger — so a resumed traced run
+/// continues its telemetry exactly. Older files are rejected with
+/// [`SnapshotErrorKind::BadVersion`] — re-run from the start rather than
+/// resuming across the format change.
+pub const CHECKPOINT_VERSION: u32 = 5;
 
 /// Width of the checkpoint authentication tag (a CMAC computed by the
 /// layer that owns the key; all-zero when the run is unkeyed).

@@ -295,54 +295,89 @@ fn parse_run_options(opts: &Opts) -> Result<RunOptions, String> {
     Ok(ro)
 }
 
-/// Tracing knobs of `doram-cli run`: `--trace-out FILE` switches the
-/// recorder on; `--trace-filter SUBS`, `--metrics-every N`, and
-/// `--trace-ring N` tune it.
+/// Observability knobs of `doram-cli run`: any of `--trace-out FILE`
+/// (Perfetto trace + metrics sidecars), `--obs-out FILE` (interference
+/// report JSON), or `--prom-out FILE` (Prometheus text snapshot) switches
+/// the recorder on; `--trace-filter SUBS`, `--metrics-every N`,
+/// `--metrics-window N`, and `--trace-ring N` tune it.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct TraceOpts {
-    out: PathBuf,
+struct ObsOpts {
+    trace_out: Option<PathBuf>,
+    obs_out: Option<PathBuf>,
+    prom_out: Option<PathBuf>,
     filter: u8,
     metrics_every: u64,
+    metrics_window: Option<usize>,
     ring_capacity: usize,
 }
 
-fn parse_trace_options(opts: &Opts) -> Result<Option<TraceOpts>, String> {
-    let Some(out) = opts.get("trace-out") else {
-        for key in ["trace-filter", "metrics-every", "trace-ring"] {
+fn parse_obs_options(opts: &Opts) -> Result<Option<ObsOpts>, String> {
+    const OUTS: [&str; 3] = ["trace-out", "obs-out", "prom-out"];
+    if OUTS.iter().all(|k| opts.get(k).is_none()) {
+        for key in ["trace-filter", "metrics-every", "metrics-window", "trace-ring"] {
             if opts.get(key).is_some() {
-                return Err(format!("--{key} requires --trace-out FILE"));
+                return Err(format!(
+                    "--{key} requires --trace-out, --obs-out, or --prom-out"
+                ));
             }
         }
         return Ok(None);
-    };
+    }
     let filter = match opts.get("trace-filter") {
         Some(spec) => obs::parse_filter(spec)?,
         None => obs::FILTER_ALL,
     };
-    Ok(Some(TraceOpts {
-        out: PathBuf::from(out),
+    let metrics_window = match opts.get("metrics-window") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                return Err(format!(
+                    "--metrics-window expects a positive number, got '{v}'"
+                ))
+            }
+        },
+    };
+    Ok(Some(ObsOpts {
+        trace_out: opts.get("trace-out").map(PathBuf::from),
+        obs_out: opts.get("obs-out").map(PathBuf::from),
+        prom_out: opts.get("prom-out").map(PathBuf::from),
         filter,
         metrics_every: opts.get_u64("metrics-every", obs::DEFAULT_METRICS_EVERY)?,
+        metrics_window,
         ring_capacity: opts.get_u64("trace-ring", obs::DEFAULT_RING_CAPACITY as u64)? as usize,
     }))
 }
 
-/// Exports everything the recorder holds: the Chrome trace (Perfetto) to
-/// `--trace-out`, plus `<out>.metrics.jsonl` / `<out>.metrics.csv`
-/// time-series sidecars. Runs on every exit path — an interrupted or
-/// stalled run still leaves its trace behind for diagnosis.
-fn export_trace(t: &TraceOpts, rec: &SharedRecorder) -> Result<(), Box<dyn Error>> {
+/// Exports everything the recorder holds: the Chrome trace (Perfetto) with
+/// its `<out>.metrics.jsonl` / `<out>.metrics.csv` sidecars to
+/// `--trace-out`, the interference report to `--obs-out`, and the
+/// Prometheus snapshot to `--prom-out`. Runs on every exit path — an
+/// interrupted or stalled run still leaves its telemetry behind for
+/// diagnosis.
+fn export_obs(t: &ObsOpts, rec: &SharedRecorder) -> Result<(), Box<dyn Error>> {
     let rec = rec.borrow();
-    let events = rec.events();
-    let (_, dropped, _) = rec.ring_stats();
-    obs::write_chrome_trace(&t.out, &events, rec.metrics.series(), dropped)?;
-    eprintln!("wrote {}", t.out.display());
-    let jsonl = t.out.with_extension("metrics.jsonl");
-    write_atomic(&jsonl, obs::metrics_jsonl(rec.metrics.series()).as_bytes())?;
-    eprintln!("wrote {}", jsonl.display());
-    let csv = t.out.with_extension("metrics.csv");
-    write_atomic(&csv, obs::metrics_csv(rec.metrics.series()).as_bytes())?;
-    eprintln!("wrote {}", csv.display());
+    if let Some(out) = &t.trace_out {
+        let events = rec.events();
+        let (_, dropped, _) = rec.ring_stats();
+        obs::write_chrome_trace(out, &events, rec.metrics.series(), dropped)?;
+        eprintln!("wrote {}", out.display());
+        let jsonl = out.with_extension("metrics.jsonl");
+        write_atomic(&jsonl, obs::metrics_jsonl(rec.metrics.series()).as_bytes())?;
+        eprintln!("wrote {}", jsonl.display());
+        let csv = out.with_extension("metrics.csv");
+        write_atomic(&csv, obs::metrics_csv(rec.metrics.series()).as_bytes())?;
+        eprintln!("wrote {}", csv.display());
+    }
+    if let Some(out) = &t.obs_out {
+        let report = obs::InterferenceReport::from_recorder(&rec);
+        write_atomic(out, report.to_json().as_bytes())?;
+        eprintln!("wrote {}", out.display());
+    }
+    if let Some(out) = &t.prom_out {
+        write_atomic(out, obs::prometheus_text(&rec).as_bytes())?;
+        eprintln!("wrote {}", out.display());
+    }
     Ok(())
 }
 
@@ -376,24 +411,28 @@ fn partial_report_json(at: u64, checkpoint: Option<&Path>) -> String {
 fn cmd_run(opts: &Opts) -> Result<(), Box<dyn Error>> {
     let cfg = build_config(opts)?;
     let run_opts = parse_run_options(opts)?;
-    let trace_opts = parse_trace_options(opts)?;
+    let obs_opts = parse_obs_options(opts)?;
     let mut sim = match opts.get("resume") {
         Some(path) => Simulation::resume_with_key(cfg, Path::new(path), run_opts.ckpt_key)?,
         None => Simulation::new(cfg)?,
     };
     // Clone the shared recorder before `run_with` consumes the simulation
     // so the trace survives the run on every exit path.
-    let rec = trace_opts
-        .as_ref()
-        .map(|t| sim.enable_tracing(t.ring_capacity, t.filter, t.metrics_every));
+    let rec = obs_opts.as_ref().map(|t| {
+        let rec = sim.enable_tracing(t.ring_capacity, t.filter, t.metrics_every);
+        if let Some(w) = t.metrics_window {
+            rec.borrow_mut().metrics.set_window(Some(w));
+        }
+        rec
+    });
     let result = sim.run_with(&run_opts);
-    if let (Some(t), Some(rec)) = (&trace_opts, &rec) {
-        match export_trace(t, rec) {
+    if let (Some(t), Some(rec)) = (&obs_opts, &rec) {
+        match export_obs(t, rec) {
             Ok(()) => {}
             // A failed run is the more important error; a failed export
             // of a successful run is its own.
             Err(e) if result.is_ok() => return Err(e),
-            Err(e) => eprintln!("trace export failed: {e}"),
+            Err(e) => eprintln!("telemetry export failed: {e}"),
         }
     }
     let report = match result {
@@ -521,6 +560,165 @@ fn cmd_trace(args: &[String]) -> Result<(), Box<dyn Error>> {
     }
 }
 
+const OBS_USAGE: &str = "usage: doram-cli obs report FILE
+       doram-cli obs check-prom FILE
+       doram-cli obs check-jsonl FILE
+       doram-cli obs compare BASELINE CURRENT [--tolerance-pct P]";
+
+/// `doram-cli obs <report|check-prom|check-jsonl|compare>`: offline
+/// inspection of the telemetry artifacts written by `run --obs-out` /
+/// `--prom-out` / `--trace-out`, plus the tolerance-band comparison the
+/// CI perf-trajectory gate runs against the checked-in bench baseline.
+fn cmd_obs(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let (Some(sub), Some(file)) = (args.first(), args.get(1)) else {
+        return Err(OBS_USAGE.into());
+    };
+    let path = Path::new(file);
+    match sub.as_str() {
+        "report" => {
+            let text = std::fs::read_to_string(path)?;
+            let report = obs::InterferenceReport::from_json(&text)?;
+            print!("{}", report.render());
+            if let Err((name, attributed, delay)) = report.check_conservation() {
+                return Err(format!(
+                    "blame conservation violated at '{name}': attributed {attributed} != queue delay {delay}"
+                )
+                .into());
+            }
+            Ok(())
+        }
+        "check-prom" => {
+            let text = std::fs::read_to_string(path)?;
+            match obs::validate_prometheus(&text) {
+                Ok(samples) => {
+                    println!("{}: {samples} Prometheus samples OK", path.display());
+                    Ok(())
+                }
+                Err((line, msg)) => Err(format!("{}:{line}: {msg}", path.display()).into()),
+            }
+        }
+        "check-jsonl" => {
+            let text = std::fs::read_to_string(path)?;
+            let lines = check_metrics_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("{}: {lines} metric samples OK", path.display());
+            Ok(())
+        }
+        "compare" => {
+            let Some(current) = args.get(2) else {
+                return Err(format!("obs compare needs BASELINE and CURRENT files\n{OBS_USAGE}").into());
+            };
+            let opts = Opts::parse(&args[3..])?;
+            let tol: f64 = match opts.get("tolerance-pct") {
+                None => 0.0,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--tolerance-pct expects a number, got '{v}'"))?,
+            };
+            let base = obs::json::parse(&std::fs::read_to_string(path)?)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let cur = obs::json::parse(&std::fs::read_to_string(Path::new(current))?)
+                .map_err(|e| format!("{current}: {e}"))?;
+            let mut diffs = Vec::new();
+            compare_json(&base, &cur, tol, "$", &mut diffs);
+            if diffs.is_empty() {
+                println!("{} vs {current}: within {tol}% tolerance", path.display());
+                Ok(())
+            } else {
+                for d in &diffs {
+                    eprintln!("  {d}");
+                }
+                Err(format!(
+                    "{} difference(s) beyond {tol}% tolerance (baseline {}, current {current})",
+                    diffs.len(),
+                    path.display()
+                )
+                .into())
+            }
+        }
+        other => Err(format!("unknown obs subcommand '{other}'\n{OBS_USAGE}").into()),
+    }
+}
+
+/// Validates a `<trace>.metrics.jsonl` sidecar: every non-empty line must
+/// be a JSON object with an integer `cycle`, a string `metric`, and a
+/// numeric `value`. Returns the number of samples.
+fn check_metrics_jsonl(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let v = obs::json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if v.get("cycle").and_then(obs::json::JsonValue::as_u64).is_none() {
+            return Err(format!("line {lineno}: missing integer 'cycle'"));
+        }
+        if v.get("metric").and_then(obs::json::JsonValue::as_str).is_none() {
+            return Err(format!("line {lineno}: missing string 'metric'"));
+        }
+        if v.get("value").and_then(obs::json::JsonValue::as_f64).is_none() {
+            return Err(format!("line {lineno}: missing numeric 'value'"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// Structurally compares two JSON documents, collecting the paths where
+/// they differ. Numeric leaves may differ by up to `tol_pct` percent
+/// (relative to the larger magnitude); everything else must match
+/// exactly, with identical key sets and array lengths. Subtrees under a
+/// `"host"` key are skipped — they hold wall-clock self-profile data
+/// that legitimately varies between machines.
+fn compare_json(
+    base: &obs::json::JsonValue,
+    cur: &obs::json::JsonValue,
+    tol_pct: f64,
+    path: &str,
+    diffs: &mut Vec<String>,
+) {
+    use doram::obs::json::JsonValue as V;
+    if diffs.len() >= 20 {
+        return;
+    }
+    match (base, cur) {
+        (V::Object(b), V::Object(c)) => {
+            for (k, bv) in b {
+                if k == "host" {
+                    continue;
+                }
+                match c.get(k) {
+                    Some(cv) => compare_json(bv, cv, tol_pct, &format!("{path}.{k}"), diffs),
+                    None => diffs.push(format!("{path}.{k}: missing in current")),
+                }
+            }
+            for k in c.keys() {
+                if k != "host" && !b.contains_key(k) {
+                    diffs.push(format!("{path}.{k}: not in baseline"));
+                }
+            }
+        }
+        (V::Array(b), V::Array(c)) => {
+            if b.len() != c.len() {
+                diffs.push(format!("{path}: array length {} vs {}", b.len(), c.len()));
+                return;
+            }
+            for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
+                compare_json(bv, cv, tol_pct, &format!("{path}[{i}]"), diffs);
+            }
+        }
+        (V::Number(b), V::Number(c)) => {
+            let scale = b.abs().max(c.abs());
+            if (b - c).abs() > tol_pct / 100.0 * scale {
+                diffs.push(format!("{path}: {b} vs {c} (beyond {tol_pct}%)"));
+            }
+        }
+        _ if base == cur => {}
+        _ => diffs.push(format!("{path}: value kind or content differs")),
+    }
+}
+
 fn cmd_list() {
     println!("benchmarks (Table III):");
     for b in Benchmark::ALL {
@@ -550,20 +748,28 @@ fn cmd_list() {
     );
     println!(
         "tracing: --trace-out FILE (Perfetto JSON + metrics sidecars) \
-         --trace-filter SUBS --metrics-every N --trace-ring N"
+         --trace-filter SUBS --metrics-every N --metrics-window N --trace-ring N"
     );
     println!("         subsystems: engine, link, sd, dram, stash, fault (comma-separated, or all/none)");
+    println!(
+        "observability: --obs-out FILE (interference report JSON: blame matrix + percentiles) \
+         --prom-out FILE (Prometheus text snapshot); \
+         inspect offline with `doram-cli obs report|check-prom|check-jsonl|compare`"
+    );
 }
 
-const USAGE: &str = "usage: doram-cli <run|sweep-c|profile|check|trace|list> [--bench NAME] [--scheme NAME]
+const USAGE: &str = "usage: doram-cli <run|sweep-c|profile|check|trace|obs|list> [--bench NAME] [--scheme NAME]
     [--k 0..3] [--c 0..7] [--accesses N] [--seed N] [--dummy-interval T]
     [--merge] [--pipeline] [--json] [--out FILE]
     [--parity] [--scrub-every N] [--probation-window N] [--probation-successes N]
     [--chaos-sub I] [--chaos-at N]
     [--adversary replay|relocate|rollback|mix] [--adversary-sub I] [--adversary-at N] [--adversary-ppm N]
     [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] [--watchdog N] [--ckpt-key K]
-    [--trace-out FILE] [--trace-filter SUBS] [--metrics-every N] [--trace-ring N]
-       doram-cli trace <summarize|validate> FILE [--min-accesses N]";
+    [--trace-out FILE] [--trace-filter SUBS] [--metrics-every N] [--metrics-window N] [--trace-ring N]
+    [--obs-out FILE] [--prom-out FILE]
+       doram-cli trace <summarize|validate> FILE [--min-accesses N]
+       doram-cli obs <report|check-prom|check-jsonl> FILE
+       doram-cli obs compare BASELINE CURRENT [--tolerance-pct P]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -571,9 +777,13 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    if cmd == "trace" {
-        // Positional subcommand + file; parsed inside.
-        return match cmd_trace(&args[1..]) {
+    if cmd == "trace" || cmd == "obs" {
+        // Positional subcommand + file(s); parsed inside.
+        let result = match cmd.as_str() {
+            "trace" => cmd_trace(&args[1..]),
+            _ => cmd_obs(&args[1..]),
+        };
+        return match result {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -691,9 +901,9 @@ mod tests {
     }
 
     #[test]
-    fn trace_options_parsing() {
-        assert_eq!(parse_trace_options(&opts(&[])).unwrap(), None);
-        let t = parse_trace_options(&opts(&[
+    fn obs_options_parsing() {
+        assert_eq!(parse_obs_options(&opts(&[])).unwrap(), None);
+        let t = parse_obs_options(&opts(&[
             "--trace-out",
             "t.json",
             "--trace-filter",
@@ -703,17 +913,87 @@ mod tests {
         ]))
         .unwrap()
         .unwrap();
-        assert_eq!(t.out, PathBuf::from("t.json"));
+        assert_eq!(t.trace_out, Some(PathBuf::from("t.json")));
+        assert_eq!(t.obs_out, None);
         assert_eq!(t.metrics_every, 500);
+        assert_eq!(t.metrics_window, None);
         assert_eq!(t.filter, obs::parse_filter("sd,link").unwrap());
         assert_eq!(t.ring_capacity, obs::DEFAULT_RING_CAPACITY);
-        // Tuning knobs without --trace-out are a user error, not silence.
-        assert!(parse_trace_options(&opts(&["--trace-filter", "sd"])).is_err());
-        assert!(parse_trace_options(&opts(&["--metrics-every", "100"])).is_err());
+        // Tuning knobs without an output are a user error, not silence.
+        assert!(parse_obs_options(&opts(&["--trace-filter", "sd"])).is_err());
+        assert!(parse_obs_options(&opts(&["--metrics-every", "100"])).is_err());
+        assert!(parse_obs_options(&opts(&["--metrics-window", "4"])).is_err());
         assert!(
-            parse_trace_options(&opts(&["--trace-out", "t.json", "--trace-filter", "bogus"]))
+            parse_obs_options(&opts(&["--trace-out", "t.json", "--trace-filter", "bogus"]))
                 .is_err()
         );
+    }
+
+    #[test]
+    fn obs_outputs_enable_the_recorder_without_trace_out() {
+        let t = parse_obs_options(&opts(&[
+            "--obs-out",
+            "r.json",
+            "--prom-out",
+            "m.prom",
+            "--metrics-window",
+            "64",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(t.trace_out, None);
+        assert_eq!(t.obs_out, Some(PathBuf::from("r.json")));
+        assert_eq!(t.prom_out, Some(PathBuf::from("m.prom")));
+        assert_eq!(t.metrics_window, Some(64));
+        assert_eq!(t.filter, obs::FILTER_ALL);
+        // A zero window would panic inside the registry; reject it here.
+        assert!(parse_obs_options(&opts(&["--obs-out", "r.json", "--metrics-window", "0"]))
+            .is_err());
+    }
+
+    #[test]
+    fn metrics_jsonl_checker() {
+        let good = "{\"cycle\":10,\"metric\":\"stash.occupancy\",\"value\":3}\n\
+                    {\"cycle\":20,\"metric\":\"stash.occupancy\",\"value\":4.5}\n";
+        assert_eq!(check_metrics_jsonl(good).unwrap(), 2);
+        assert_eq!(check_metrics_jsonl("\n\n").unwrap(), 0);
+        assert!(check_metrics_jsonl("not json\n").is_err());
+        assert!(check_metrics_jsonl("{\"cycle\":1,\"metric\":\"m\"}\n")
+            .unwrap_err()
+            .contains("value"));
+        assert!(check_metrics_jsonl("{\"cycle\":-1,\"metric\":\"m\",\"value\":0}\n")
+            .unwrap_err()
+            .contains("cycle"));
+    }
+
+    #[test]
+    fn json_compare_tolerance_and_structure() {
+        let cmp = |a: &str, b: &str, tol: f64| {
+            let mut diffs = Vec::new();
+            compare_json(
+                &obs::json::parse(a).unwrap(),
+                &obs::json::parse(b).unwrap(),
+                tol,
+                "$",
+                &mut diffs,
+            );
+            diffs
+        };
+        // Identical documents always match; numbers get the tolerance band.
+        assert!(cmp(r#"{"a": 100, "b": [1, 2]}"#, r#"{"a": 100, "b": [1, 2]}"#, 0.0).is_empty());
+        assert!(cmp(r#"{"a": 100}"#, r#"{"a": 104}"#, 5.0).is_empty());
+        assert_eq!(cmp(r#"{"a": 100}"#, r#"{"a": 110}"#, 5.0).len(), 1);
+        // Structure is exact: missing keys and length drift are failures.
+        assert_eq!(cmp(r#"{"a": 1}"#, r#"{"b": 1}"#, 50.0).len(), 2);
+        assert_eq!(cmp(r#"{"a": [1]}"#, r#"{"a": [1, 2]}"#, 50.0).len(), 1);
+        // The host self-profile is wall-clock noise: always skipped.
+        assert!(cmp(
+            r#"{"a": 1, "host": {"wall_seconds": 0.5}}"#,
+            r#"{"a": 1, "host": null}"#,
+            0.0
+        )
+        .is_empty());
+        assert!(cmp(r#"{"a": 1}"#, r#"{"a": 1, "host": {"x": 9}}"#, 0.0).is_empty());
     }
 
     #[test]
